@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablations of the DTB design choices called out in DESIGN.md:
+ * replacement policy (the paper specifies LRU via the replacement
+ * array), the overflow fraction of the buffer array, and the trap
+ * overhead of the Figure 4 miss path.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace uhm;
+using namespace uhm::bench;
+
+namespace
+{
+
+DirProgram
+ablationWorkload()
+{
+    workload::SyntheticConfig cfg;
+    cfg.numLoops = 12;
+    cfg.bodyInstrs = 50;
+    cfg.iterations = 6;
+    cfg.outerRepeats = 10;
+    cfg.semworkDensity = 0.1;
+    cfg.semworkWeight = 3;
+    cfg.seed = 4;
+    return workload::generateSynthetic(cfg);
+}
+
+void
+policyAblation(const DirProgram &prog)
+{
+    TextTable table("Replacement policy x capacity: LRU (the paper's "
+                    "replacement array) vs FIFO\nand random");
+    table.setHeader({"capacity", "lru h_D", "fifo h_D", "random h_D",
+                     "lru cyc/instr", "fifo cyc/instr",
+                     "random cyc/instr"});
+    for (uint64_t cap : {1024u, 2048u, 4096u, 8192u}) {
+        std::vector<std::string> row = {TextTable::num(cap)};
+        std::vector<std::string> cycles;
+        for (ReplPolicy policy : {ReplPolicy::LRU, ReplPolicy::FIFO,
+                                  ReplPolicy::Random}) {
+            MachineConfig cfg = makeConfig(MachineKind::Dtb);
+            cfg.dtb.capacityBytes = cap;
+            cfg.dtb.policy = policy;
+            RunResult r = runProgram(prog, EncodingScheme::Huffman, cfg);
+            row.push_back(TextTable::num(r.dtbHitRatio, 4));
+            cycles.push_back(TextTable::num(r.avgInterpTime(), 2));
+        }
+        row.insert(row.end(), cycles.begin(), cycles.end());
+        table.addRow(row);
+    }
+    table.print();
+}
+
+void
+overflowAblation(const DirProgram &prog)
+{
+    TextTable table("Overflow-area fraction (unit = 3 short instrs, so "
+                    "many translations need an\nincrement)");
+    table.setHeader({"overflow fraction", "entries", "h_D", "rejects",
+                     "cycles/instr"});
+    for (double frac : {0.0, 0.1, 0.25, 0.5}) {
+        MachineConfig cfg = makeConfig(MachineKind::Dtb);
+        cfg.dtb.unitShortInstrs = 3;
+        cfg.dtb.overflowFraction = frac;
+        cfg.dtb.allowOverflow = frac > 0.0;
+        RunResult r = runProgram(prog, EncodingScheme::Huffman, cfg);
+        Dtb probe(cfg.dtb);
+        table.addRow({TextTable::num(frac, 2),
+                      TextTable::num(probe.numEntries()),
+                      TextTable::num(r.dtbHitRatio, 4),
+                      TextTable::num(r.stats.get("dtb_rejects")),
+                      TextTable::num(r.avgInterpTime(), 2)});
+    }
+    table.print();
+}
+
+void
+trapAblation(const DirProgram &prog)
+{
+    TextTable table("Trap overhead sensitivity (cycles added per miss by "
+                    "the DTRPOINT trap)");
+    table.setHeader({"trap cycles", "cycles/instr"});
+    for (uint64_t trap : {0u, 2u, 10u, 50u}) {
+        MachineConfig cfg = makeConfig(MachineKind::Dtb);
+        cfg.trapCycles = trap;
+        RunResult r = runProgram(prog, EncodingScheme::Huffman, cfg);
+        table.addRow({TextTable::num(trap),
+                      TextTable::num(r.avgInterpTime(), 2)});
+    }
+    table.print();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== DTB design-choice ablations ===\n\n");
+    DirProgram prog = ablationWorkload();
+    std::printf("workload: synthetic, %zu DIR instructions\n\n",
+                prog.size());
+    policyAblation(prog);
+    std::printf("\n");
+    overflowAblation(prog);
+    std::printf("\n");
+    trapAblation(prog);
+    std::printf(
+        "\nShape checks: on these loop-phased workloads LRU and FIFO "
+        "coincide (references\ncycle, so recency equals insertion order) "
+        "and random replacement can *beat*\nthem below the working-set "
+        "knee — the classic cyclic-thrash pathology of LRU.\nA modest "
+        "overflow area recovers the h_D lost to rejected long "
+        "translations;\ntrap overhead matters little once h_D is high "
+        "(it is paid only on misses).\n");
+    return 0;
+}

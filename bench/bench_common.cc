@@ -1,0 +1,65 @@
+#include "bench_common.hh"
+
+namespace uhm::bench
+{
+
+MeasuredPoint
+measurePoint(const DirProgram &prog, EncodingScheme scheme,
+             const MachineConfig &base, const std::vector<int64_t> &input)
+{
+    auto image = encodeDir(prog, scheme);
+
+    MachineConfig conv_cfg = base;
+    conv_cfg.kind = MachineKind::Conventional;
+    MachineConfig cache_cfg = base;
+    cache_cfg.kind = MachineKind::Cached;
+    MachineConfig dtb_cfg = base;
+    dtb_cfg.kind = MachineKind::Dtb;
+
+    Machine conv(*image, conv_cfg);
+    Machine cached(*image, cache_cfg);
+    Machine dtb(*image, dtb_cfg);
+    RunResult r1 = conv.run(input);
+    RunResult r3 = cached.run(input);
+    RunResult r2 = dtb.run(input);
+
+    MeasuredPoint pt;
+    pt.t1 = r1.avgInterpTime();
+    pt.t2 = r2.avgInterpTime();
+    pt.t3 = r3.avgInterpTime();
+    // Decode-heavy parameters come from the conventional run (it
+    // decodes every instruction); the DTB-path parameters from the DTB
+    // run.
+    pt.d = r1.measuredD;
+    pt.x = r1.measuredX;
+    pt.g = r2.measuredG;
+    pt.hD = r2.dtbHitRatio;
+    pt.hc = r3.cacheHitRatio;
+    pt.dirInstrs = r1.dirInstrs;
+    if (r2.dirInstrs > 0) {
+        pt.s1 = static_cast<double>(r2.stats.get("short_instrs")) /
+                static_cast<double>(r2.dirInstrs);
+    }
+    if (r1.dirInstrs > 0) {
+        pt.s2 = static_cast<double>(r1.stats.get("dir_fetch_refs")) /
+                static_cast<double>(r1.dirInstrs);
+    }
+    return pt;
+}
+
+DirProgram
+gridWorkload(uint32_t semwork_weight, uint64_t seed)
+{
+    workload::SyntheticConfig cfg;
+    cfg.numLoops = 14;
+    cfg.bodyInstrs = 50;
+    cfg.iterations = 5;
+    cfg.outerRepeats = 12;
+    cfg.semworkDensity = semwork_weight > 0 ? 0.25 : 0.0;
+    cfg.semworkWeight = semwork_weight;
+    cfg.numGlobals = 24;
+    cfg.seed = seed;
+    return workload::generateSynthetic(cfg);
+}
+
+} // namespace uhm::bench

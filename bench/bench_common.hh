@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures.
+ * Absolute numbers differ from 1978 hardware, but the shapes — who wins,
+ * by what factor, where the crossovers fall — are the reproduction
+ * targets (see EXPERIMENTS.md).
+ */
+
+#ifndef UHM_BENCH_BENCH_COMMON_HH
+#define UHM_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/model.hh"
+#include "hlr/compiler.hh"
+#include "uhm/machine.hh"
+#include "workload/samples.hh"
+#include "workload/synthetic.hh"
+
+namespace uhm::bench
+{
+
+/** A machine config of the given kind with otherwise default knobs. */
+inline MachineConfig
+makeConfig(MachineKind kind)
+{
+    MachineConfig cfg;
+    cfg.kind = kind;
+    return cfg;
+}
+
+/** Measured T1/T2/T3 plus the parameters that produced them. */
+struct MeasuredPoint
+{
+    double t1 = 0, t2 = 0, t3 = 0;
+    double d = 0;  ///< measured decode cycles per decoded instruction
+    double x = 0;  ///< measured semantic cycles per instruction
+    double g = 0;  ///< measured translate cycles per translated instr
+    double hD = 1; ///< measured DTB hit ratio
+    double hc = 1; ///< measured icache hit ratio
+    double s1 = 0; ///< measured short fetches per DIR instruction
+    double s2 = 0; ///< measured level-2 refs per DIR fetch
+    uint64_t dirInstrs = 0;
+
+    /** Paper convention: degradation of the cache organization
+     *  relative to the DTB organization. */
+    double f1() const { return (t3 - t2) / t2 * 100.0; }
+    /** Degradation of the conventional organization relative to the
+     *  DTB organization. */
+    double f2() const { return (t1 - t2) / t2 * 100.0; }
+};
+
+/**
+ * Run @p prog on all three machine organizations with @p base config
+ * parameters and collect the measured model coordinates.
+ */
+MeasuredPoint measurePoint(const DirProgram &prog, EncodingScheme scheme,
+                           const MachineConfig &base,
+                           const std::vector<int64_t> &input = {});
+
+/**
+ * The synthetic workload used by the Table 2/3 measured grids: a phased
+ * loop sequence whose instruction working set exceeds the default DTB
+ * so h_D lands near the paper's 0.8 operating point.
+ */
+DirProgram gridWorkload(uint32_t semwork_weight, uint64_t seed = 1978);
+
+} // namespace uhm::bench
+
+#endif // UHM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Machine-readable export of the reproduction's key result series.
+ *
+ * Emits one JSON document on stdout containing the paper grids, the
+ * measured F1/F2 points, the Figure 2 sweeps, the compaction ratios
+ * and the amortization curve, so plots and downstream analyses can be
+ * built without scraping the text tables. Deterministic byte-for-byte.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hh"
+#include "dir/fusion.hh"
+#include "support/json.hh"
+
+using namespace uhm;
+using namespace uhm::bench;
+
+namespace
+{
+
+void
+exportPaperGrids(JsonWriter &jw)
+{
+    jw.key("paper_tables").beginObject();
+    for (int table : {2, 3}) {
+        jw.key(table == 2 ? "table2_f1" : "table3_f2").beginArray();
+        for (double d : analytic::paperDGrid()) {
+            for (double x : analytic::paperXGrid()) {
+                jw.beginObject();
+                jw.key("d").value(d);
+                jw.key("x").value(x);
+                jw.key("value").value(
+                    table == 2 ? analytic::paperTable2(d, x) :
+                                 analytic::paperTable3(d, x));
+                jw.endObject();
+            }
+        }
+        jw.endArray();
+    }
+    jw.endObject();
+}
+
+void
+exportMeasuredPoints(JsonWriter &jw)
+{
+    jw.key("measured_compiled_programs").beginArray();
+    for (const char *name : {"sieve", "fib", "qsort", "matmul",
+                             "queens", "collatz", "bsearch"}) {
+        const auto &sample = workload::sampleByName(name);
+        DirProgram prog = hlr::compileSource(sample.source);
+        MachineConfig base;
+        MeasuredPoint pt = measurePoint(prog, EncodingScheme::Huffman,
+                                        base, sample.input);
+        jw.beginObject();
+        jw.key("program").value(name);
+        jw.key("dir_instrs").value(pt.dirInstrs);
+        jw.key("d").value(pt.d);
+        jw.key("x").value(pt.x);
+        jw.key("g").value(pt.g);
+        jw.key("h_dtb").value(pt.hD);
+        jw.key("h_cache").value(pt.hc);
+        jw.key("s1").value(pt.s1);
+        jw.key("s2").value(pt.s2);
+        jw.key("t1").value(pt.t1);
+        jw.key("t2").value(pt.t2);
+        jw.key("t3").value(pt.t3);
+        jw.key("f1").value(pt.f1());
+        jw.key("f2").value(pt.f2());
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+void
+exportCapacitySweep(JsonWriter &jw)
+{
+    workload::SyntheticConfig cfg;
+    cfg.numLoops = 10;
+    cfg.bodyInstrs = 45;
+    cfg.iterations = 8;
+    cfg.outerRepeats = 10;
+    cfg.semworkDensity = 0.1;
+    cfg.semworkWeight = 2;
+    cfg.seed = 2;
+    DirProgram prog = workload::generateSynthetic(cfg);
+
+    jw.key("dtb_capacity_sweep").beginArray();
+    for (uint64_t cap : {256u, 512u, 1024u, 2048u, 4096u, 8192u,
+                         16384u}) {
+        MachineConfig mc = makeConfig(MachineKind::Dtb);
+        mc.dtb.capacityBytes = cap;
+        RunResult r = runProgram(prog, EncodingScheme::Huffman, mc);
+        jw.beginObject();
+        jw.key("capacity_bytes").value(cap);
+        jw.key("hit_ratio").value(r.dtbHitRatio);
+        jw.key("cycles_per_instr").value(r.avgInterpTime());
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+void
+exportCompaction(JsonWriter &jw)
+{
+    jw.key("encoding_sizes_bits").beginArray();
+    for (const auto &sample : workload::samplePrograms()) {
+        DirProgram prog = hlr::compileSource(sample.source);
+        jw.beginObject();
+        jw.key("program").value(sample.name);
+        for (EncodingScheme scheme : allEncodingSchemes()) {
+            auto image = encodeDir(prog, scheme);
+            jw.key(encodingName(scheme)).value(image->bitSize());
+        }
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+void
+exportAmortization(JsonWriter &jw)
+{
+    jw.key("binding_amortization").beginArray();
+    for (uint32_t iters : {1u, 2u, 5u, 10u, 50u, 200u, 1000u}) {
+        std::ostringstream src;
+        src << "program t; var i, s; begin i := " << iters
+            << "; s := 0; while i > 0 do s := s + i * i; i := i - 1; od;"
+            << " write s; end.";
+        DirProgram prog = hlr::compileSource(src.str());
+        RunResult rd = runProgram(prog, EncodingScheme::Huffman,
+                                  makeConfig(MachineKind::Dtb));
+        RunResult rc = runProgram(prog, EncodingScheme::Huffman,
+                                  makeConfig(MachineKind::Conventional));
+        jw.beginObject();
+        jw.key("iterations").value(uint64_t{iters});
+        jw.key("h_dtb").value(rd.dtbHitRatio);
+        jw.key("dtb_cycles_per_instr").value(rd.avgInterpTime());
+        jw.key("conv_cycles_per_instr").value(rc.avgInterpTime());
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+void
+exportSemanticLevel(JsonWriter &jw)
+{
+    jw.key("semantic_level_raise").beginArray();
+    for (const char *name : {"sieve", "collatz", "matmul", "qsort"}) {
+        const auto &sample = workload::sampleByName(name);
+        DirProgram base = hlr::compileSource(sample.source);
+        DirProgram raised = raiseSemanticLevel(base);
+        MachineConfig mc = makeConfig(MachineKind::Conventional);
+        RunResult r1 = runProgram(base, EncodingScheme::Huffman, mc,
+                                  sample.input);
+        RunResult r2 = runProgram(raised, EncodingScheme::Huffman, mc,
+                                  sample.input);
+        jw.beginObject();
+        jw.key("program").value(name);
+        jw.key("base_instrs").value(r1.dirInstrs);
+        jw.key("raised_instrs").value(r2.dirInstrs);
+        jw.key("base_cycles").value(r1.cycles);
+        jw.key("raised_cycles").value(r2.cycles);
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("reproduction").value(
+        "Rau 1978, Levels of Representation of Programs and the "
+        "Architecture of Universal Host Machines");
+    jw.key("timing").beginObject();
+    jw.key("tau1").value(1);
+    jw.key("tau2").value(10);
+    jw.key("tauD").value(2);
+    jw.endObject();
+
+    exportPaperGrids(jw);
+    exportMeasuredPoints(jw);
+    exportCapacitySweep(jw);
+    exportCompaction(jw);
+    exportAmortization(jw);
+    exportSemanticLevel(jw);
+
+    jw.endObject();
+    std::printf("%s\n", jw.str().c_str());
+    return 0;
+}

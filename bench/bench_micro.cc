@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the host-library primitives: DTB
+ * lookup, the five DIR decoders, the dynamic translator, and end-to-end
+ * machine execution per DIR instruction. These measure the *simulator's*
+ * own speed (host nanoseconds), complementing the cycle-accurate tables.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hh"
+#include "core/trace_sim.hh"
+#include "core/translator.hh"
+#include "dir/fusion.hh"
+#include "dir/serialize.hh"
+
+using namespace uhm;
+using namespace uhm::bench;
+
+namespace
+{
+
+const DirProgram &
+sieveProgram()
+{
+    static const DirProgram prog = hlr::compileSource(
+        workload::sampleByName("sieve").source);
+    return prog;
+}
+
+void
+BM_DtbLookupHit(benchmark::State &state)
+{
+    DtbConfig cfg;
+    Dtb dtb(cfg);
+    std::vector<ShortInstr> code = {
+        {SOp::CALL, SMode::Imm, 9},
+        {SOp::INTERP, SMode::Imm, 64},
+    };
+    for (uint64_t a = 0; a < 64; ++a)
+        dtb.insert(a * 17, code);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dtb.lookup((addr % 64) * 17));
+        ++addr;
+    }
+}
+BENCHMARK(BM_DtbLookupHit);
+
+void
+BM_DtbLookupMiss(benchmark::State &state)
+{
+    DtbConfig cfg;
+    Dtb dtb(cfg);
+    uint64_t addr = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dtb.lookup(addr));
+        addr += 977;
+    }
+}
+BENCHMARK(BM_DtbLookupMiss);
+
+void
+BM_DecodeInstr(benchmark::State &state)
+{
+    EncodingScheme scheme =
+        static_cast<EncodingScheme>(state.range(0));
+    auto image = encodeDir(sieveProgram(), scheme);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image->decodeAt(image->bitAddrOf(i)));
+        i = (i + 1) % image->numInstrs();
+    }
+    state.SetLabel(encodingName(scheme));
+}
+BENCHMARK(BM_DecodeInstr)->DenseRange(0, 5);
+
+void
+BM_Translate(benchmark::State &state)
+{
+    auto image = encodeDir(sieveProgram(), EncodingScheme::Huffman);
+    DynamicTranslator translator(*image);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            translator.translate(image->bitAddrOf(i)));
+        i = (i + 1) % image->numInstrs();
+    }
+}
+BENCHMARK(BM_Translate);
+
+void
+BM_MachineRun(benchmark::State &state)
+{
+    MachineKind kind = static_cast<MachineKind>(state.range(0));
+    auto image = encodeDir(sieveProgram(), EncodingScheme::Huffman);
+    MachineConfig cfg = makeConfig(kind);
+    Machine machine(*image, cfg);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        RunResult r = machine.run();
+        instrs += r.dirInstrs;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+    state.SetLabel(machineKindName(kind));
+}
+BENCHMARK(BM_MachineRun)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileContour(benchmark::State &state)
+{
+    const auto &sample = workload::sampleByName("qsort");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hlr::compileSource(sample.source));
+}
+BENCHMARK(BM_CompileContour);
+
+void
+BM_EncodeProgram(benchmark::State &state)
+{
+    EncodingScheme scheme =
+        static_cast<EncodingScheme>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encodeDir(sieveProgram(), scheme));
+    state.SetLabel(encodingName(scheme));
+}
+BENCHMARK(BM_EncodeProgram)->DenseRange(0, 5);
+
+void
+BM_FusionPass(benchmark::State &state)
+{
+    const DirProgram &prog = sieveProgram();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(raiseSemanticLevel(prog));
+}
+BENCHMARK(BM_FusionPass);
+
+void
+BM_SerializeRoundTrip(benchmark::State &state)
+{
+    const DirProgram &prog = sieveProgram();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            deserializeDirProgram(serializeDirProgram(prog)));
+    }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    auto image = encodeDir(sieveProgram(), EncodingScheme::Huffman);
+    MachineConfig cfg;
+    cfg.kind = MachineKind::Dtb;
+    cfg.captureAddressTrace = true;
+    Machine machine(*image, cfg);
+    RunResult run = machine.run();
+    DynamicTranslator translator(*image);
+    // Pre-size translations so the replay measures only the DTB.
+    std::map<uint64_t, unsigned> sizes;
+    for (uint64_t addr : run.addressTrace) {
+        if (!sizes.count(addr)) {
+            sizes[addr] = static_cast<unsigned>(
+                translator.translate(addr).code.size());
+        }
+    }
+    DtbConfig dtb;
+    uint64_t refs = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulateDtbTrace(
+            run.addressTrace, dtb,
+            [&](uint64_t a) { return sizes.at(a); }));
+        refs += run.addressTrace.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(refs));
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

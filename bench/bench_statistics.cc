@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The paper's stated future work (section 8): "Future research will be
+ * aimed at gathering statistics which permit a more quantitative
+ * evaluation of the cost-performance of various combinations of
+ * intermediate representations and universal host machine
+ * architectures, with and without dynamic translation buffers."
+ *
+ * This bench gathers exactly those statistics from the simulator:
+ *
+ *  1. static vs dynamic opcode frequencies of the compiled sample
+ *     programs (section 3.2 builds its codes from *static* frequencies;
+ *     how much would profile-guided — dynamic — frequencies help?);
+ *  2. the full cost-performance matrix: every encoding x every machine
+ *     organization, space and time together.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hh"
+#include "support/huffman.hh"
+#include "support/table.hh"
+
+using namespace uhm;
+using namespace uhm::bench;
+
+namespace
+{
+
+/** Dynamic opcode frequencies from a conventional-machine run. */
+std::vector<uint64_t>
+dynamicFrequencies(const DirProgram &prog,
+                   const std::vector<int64_t> &input)
+{
+    auto image = encodeDir(prog, EncodingScheme::Packed);
+    MachineConfig cfg = makeConfig(MachineKind::Conventional);
+    Machine machine(*image, cfg);
+    return machine.run(input).opcodeCounts;
+}
+
+/**
+ * Section 3.2 measures frequencies "in the static representation of
+ * the program"; a JIT-era designer would profile instead. Compare the
+ * expected opcode-field length per *executed* instruction under codes
+ * built from static vs dynamic frequencies.
+ */
+void
+staticVsDynamicProfile()
+{
+    TextTable table("Static-frequency vs profile-guided (dynamic-"
+                    "frequency) opcode codes: expected\nopcode bits per "
+                    "executed instruction");
+    table.setHeader({"program", "static-freq code", "dynamic-freq code",
+                     "profile gain"});
+    for (const char *name : {"sieve", "fib", "qsort", "matmul",
+                             "queens", "collatz"}) {
+        const auto &sample = workload::sampleByName(name);
+        DirProgram prog = hlr::compileSource(sample.source);
+
+        std::vector<uint64_t> static_freqs(numOps, 0);
+        for (const DirInstruction &ins : prog.instrs)
+            ++static_freqs[static_cast<size_t>(ins.op)];
+        std::vector<uint64_t> dyn_freqs =
+            dynamicFrequencies(prog, sample.input);
+
+        HuffmanCode static_code = HuffmanCode::build(static_freqs);
+        HuffmanCode dyn_code = HuffmanCode::build(dyn_freqs);
+        double static_cost = static_code.expectedLength(dyn_freqs);
+        double dyn_cost = dyn_code.expectedLength(dyn_freqs);
+        table.addRow({name, TextTable::num(static_cost, 3),
+                      TextTable::num(dyn_cost, 3),
+                      TextTable::num(
+                          100.0 * (static_cost - dyn_cost) / static_cost,
+                          1) + "%"});
+    }
+    table.print();
+    std::printf(
+        "\nStatic frequencies are what a 1978 compiler could gather; "
+        "profile-guided codes\nshave a few percent more off the *hot* "
+        "path — but the DTB makes the point moot:\nonce translated, hot "
+        "instructions are never decoded again.\n");
+}
+
+void
+costPerformanceMatrix(const char *name)
+{
+    const auto &sample = workload::sampleByName(name);
+    DirProgram prog = hlr::compileSource(sample.source);
+
+    TextTable table(std::string("Cost-performance matrix ('") + name +
+                    "'): static bits x cycles/instr for every encoding "
+                    "and organization");
+    table.setHeader({"encoding", "bits", "conventional", "cached", "dtb",
+                     "dtb2"});
+    for (EncodingScheme scheme : allEncodingSchemes()) {
+        auto image = encodeDir(prog, scheme);
+        std::vector<std::string> row = {
+            encodingName(scheme), TextTable::num(image->bitSize())};
+        for (MachineKind kind : {MachineKind::Conventional,
+                                 MachineKind::Cached, MachineKind::Dtb,
+                                 MachineKind::Dtb2}) {
+            MachineConfig cfg = makeConfig(kind);
+            Machine machine(*image, cfg);
+            RunResult r = machine.run(sample.input);
+            row.push_back(TextTable::num(r.avgInterpTime(), 2));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+void
+staticFrequencyTable()
+{
+    // Aggregate static opcode frequencies over all samples — the
+    // statistics a 1978-style encoding designer would gather.
+    std::vector<uint64_t> freqs(numOps, 0);
+    uint64_t total = 0;
+    for (const auto &sample : workload::samplePrograms()) {
+        DirProgram prog = hlr::compileSource(sample.source);
+        for (const DirInstruction &ins : prog.instrs) {
+            ++freqs[static_cast<size_t>(ins.op)];
+            ++total;
+        }
+    }
+
+    // Sort descending.
+    std::vector<size_t> order;
+    for (size_t i = 0; i < numOps; ++i) {
+        if (freqs[i] > 0)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return freqs[a] > freqs[b]; });
+
+    TextTable table("Static opcode frequencies over the sample corpus "
+                    "(top 12) and the Huffman\ncode lengths they earn");
+    table.setHeader({"opcode", "count", "share", "code bits"});
+    HuffmanCode code = HuffmanCode::build(freqs);
+    for (size_t i = 0; i < std::min<size_t>(order.size(), 12); ++i) {
+        size_t op = order[i];
+        table.addRow({opName(static_cast<Op>(op)),
+                      TextTable::num(freqs[op]),
+                      TextTable::num(100.0 * static_cast<double>(
+                          freqs[op]) / static_cast<double>(total), 1) +
+                          "%",
+                      TextTable::num(uint64_t{code.lengthOf(op)})});
+    }
+    table.print();
+    std::printf("\ncorpus entropy: %.2f bits/opcode; Huffman expected "
+                "length: %.2f bits\n",
+                entropyBits(freqs), code.expectedLength(freqs));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== Section 8's future work: gathered statistics ===\n"
+                "\n");
+    staticFrequencyTable();
+    std::printf("\n");
+    staticVsDynamicProfile();
+    std::printf("\n");
+    costPerformanceMatrix("sieve");
+    std::printf("\n");
+    costPerformanceMatrix("queens");
+    std::printf(
+        "\nShape check: across the whole matrix, the DTB columns are "
+        "nearly flat in the\nencoding (the dynamic representation "
+        "decouples run time from the static form),\nwhile the "
+        "conventional column pays for every bit saved.\n");
+    return 0;
+}

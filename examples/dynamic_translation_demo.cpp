@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic translation demo: the paper's core claim, live.
+ *
+ * Usage:
+ *   dynamic_translation_demo [sample-name]
+ *
+ * Runs one workload on the three machine organizations across all five
+ * encodings, printing the space/time frontier: the heavily encoded DIR
+ * is the most compact static form but the slowest to interpret
+ * conventionally; the DTB recovers (nearly all of) the speed while
+ * keeping the compact static form — "the conflicting requirements of a
+ * compact representation and low execution time will be met
+ * simultaneously" (section 4).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "hlr/compiler.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "uhm/machine.hh"
+#include "workload/samples.hh"
+
+int
+main(int argc, char **argv)
+try {
+    std::string name = argc > 1 ? argv[1] : "qsort";
+    const auto &sample = uhm::workload::sampleByName(name);
+    uhm::DirProgram prog = uhm::hlr::compileSource(sample.source);
+    std::printf("workload '%s': %zu DIR instructions\n\n", name.c_str(),
+                prog.size());
+
+    uhm::TextTable table(
+        "space (static image bits) x time (cycles per DIR instruction)");
+    table.setHeader({"encoding", "image bits", "conventional", "cached",
+                     "dtb", "dtb speedup", "h_D"});
+
+    for (uhm::EncodingScheme scheme : uhm::allEncodingSchemes()) {
+        auto image = uhm::encodeDir(prog, scheme);
+        double t[3] = {};
+        double hd = 1.0;
+        uhm::MachineKind kinds[3] = {uhm::MachineKind::Conventional,
+                                     uhm::MachineKind::Cached,
+                                     uhm::MachineKind::Dtb};
+        std::vector<int64_t> output;
+        for (int k = 0; k < 3; ++k) {
+            uhm::MachineConfig cfg;
+            cfg.kind = kinds[k];
+            uhm::Machine machine(*image, cfg);
+            uhm::RunResult r = machine.run(sample.input);
+            t[k] = r.avgInterpTime();
+            if (kinds[k] == uhm::MachineKind::Dtb)
+                hd = r.dtbHitRatio;
+            if (output.empty())
+                output = r.output;
+            else if (output != r.output)
+                uhm::fatal("organizations disagree on output!");
+        }
+        table.addRow({uhm::encodingName(scheme),
+                      uhm::TextTable::num(image->bitSize()),
+                      uhm::TextTable::num(t[0], 2),
+                      uhm::TextTable::num(t[1], 2),
+                      uhm::TextTable::num(t[2], 2),
+                      uhm::TextTable::num(t[0] / t[2], 2) + "x",
+                      uhm::TextTable::num(hd, 3)});
+    }
+    table.print();
+
+    std::printf(
+        "\nReading the table: moving down the rows the *static* program "
+        "shrinks several\nfold, and conventional interpretation pays for "
+        "it in decode time; the DTB row\nstays nearly flat because the "
+        "working set runs from the translated PSDER, so\nthe compact "
+        "encoding costs almost nothing at run time. That is dynamic\n"
+        "translation's bargain.\n");
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * uhm_cli — a command-line driver for the whole pipeline.
+ *
+ * Usage:
+ *   uhm_cli [options] <sample-name | path/to/program.ctr>
+ *
+ * Options:
+ *   --machine=<conventional|cached|dtb|dtb2>   (default dtb)
+ *   --encoding=<expanded|packed|contextual|huffman|pair-huffman|
+ *               quantized>                      (default huffman)
+ *   --input=<comma-separated ints>              (read-statement input)
+ *   --dtb-bytes=<n>        DTB buffer capacity  (default 4096)
+ *   --assoc=<n>            DTB/cache ways, 0 = full (default 4)
+ *   --raise                raise the DIR's semantic level (fuse opcodes)
+ *   --disasm               print the DIR disassembly and exit
+ *   --emit-asm=<file>      write round-trippable DIR assembly and exit
+ *   --emit-bin=<file>      write the binary DIR form and exit
+ *   --stats                print the full counter set after the run
+ *   --trace                print the INTERP event trace (DTB kinds)
+ *
+ * The program argument may be a sample name, a Contour source file, a
+ * DIR assembly file (.dira) or a DIR binary (.dirb).
+ *
+ * Exit status: 0 on success, 1 on user error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dir/asm.hh"
+#include "dir/fusion.hh"
+#include "dir/serialize.hh"
+#include "hlr/compiler.hh"
+#include "support/logging.hh"
+#include "uhm/machine.hh"
+#include "workload/samples.hh"
+
+namespace
+{
+
+struct Options
+{
+    std::string program = "qsort";
+    uhm::MachineKind kind = uhm::MachineKind::Dtb;
+    uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
+    std::vector<int64_t> input;
+    uint64_t dtbBytes = 4096;
+    unsigned assoc = 4;
+    bool raiseLevel = false;
+    bool disasm = false;
+    bool stats = false;
+    bool trace = false;
+    std::string emitAsm;
+    std::string emitBin;
+};
+
+uhm::MachineKind
+parseMachine(const std::string &name)
+{
+    if (name == "conventional")
+        return uhm::MachineKind::Conventional;
+    if (name == "cached")
+        return uhm::MachineKind::Cached;
+    if (name == "dtb")
+        return uhm::MachineKind::Dtb;
+    if (name == "dtb2")
+        return uhm::MachineKind::Dtb2;
+    uhm::fatal("unknown machine kind '%s'", name.c_str());
+}
+
+uhm::EncodingScheme
+parseEncoding(const std::string &name)
+{
+    for (uhm::EncodingScheme scheme : uhm::allEncodingSchemes()) {
+        if (name == uhm::encodingName(scheme))
+            return scheme;
+    }
+    uhm::fatal("unknown encoding '%s'", name.c_str());
+}
+
+std::vector<int64_t>
+parseInts(const std::string &list)
+{
+    std::vector<int64_t> values;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ','))
+        values.push_back(std::stoll(item));
+    return values;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--machine=", 0) == 0)
+            opts.kind = parseMachine(value("--machine="));
+        else if (arg.rfind("--encoding=", 0) == 0)
+            opts.scheme = parseEncoding(value("--encoding="));
+        else if (arg.rfind("--input=", 0) == 0)
+            opts.input = parseInts(value("--input="));
+        else if (arg.rfind("--dtb-bytes=", 0) == 0)
+            opts.dtbBytes = std::stoull(value("--dtb-bytes="));
+        else if (arg.rfind("--assoc=", 0) == 0)
+            opts.assoc = static_cast<unsigned>(
+                std::stoul(value("--assoc=")));
+        else if (arg == "--raise")
+            opts.raiseLevel = true;
+        else if (arg == "--disasm")
+            opts.disasm = true;
+        else if (arg.rfind("--emit-asm=", 0) == 0)
+            opts.emitAsm = value("--emit-asm=");
+        else if (arg.rfind("--emit-bin=", 0) == 0)
+            opts.emitBin = value("--emit-bin=");
+        else if (arg == "--stats")
+            opts.stats = true;
+        else if (arg == "--trace")
+            opts.trace = true;
+        else if (arg.rfind("--", 0) == 0)
+            uhm::fatal("unknown option '%s'", arg.c_str());
+        else
+            opts.program = arg;
+    }
+    return opts;
+}
+
+/** True if @p name ends with @p suffix. */
+bool
+endsWith(const std::string &name, const std::string &suffix)
+{
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** Resolve the program argument to a DirProgram, whatever its form. */
+uhm::DirProgram
+loadProgram(const std::string &arg, std::vector<int64_t> &default_input)
+{
+    if (endsWith(arg, ".dirb"))
+        return uhm::loadDirProgram(arg);
+
+    std::ifstream file(arg);
+    if (file) {
+        std::ostringstream os;
+        os << file.rdbuf();
+        if (endsWith(arg, ".dira"))
+            return uhm::parseDirAssembly(os.str());
+        return uhm::hlr::compileSource(os.str());
+    }
+    const auto &sample = uhm::workload::sampleByName(arg);
+    default_input = sample.input;
+    return uhm::hlr::compileSource(sample.source);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+try {
+    Options opts = parseArgs(argc, argv);
+    std::vector<int64_t> default_input;
+    uhm::DirProgram prog = loadProgram(opts.program, default_input);
+    if (opts.input.empty())
+        opts.input = default_input;
+    if (opts.raiseLevel) {
+        uhm::FusionStats stats;
+        prog = uhm::raiseSemanticLevel(prog, &stats);
+        std::fprintf(stderr, "# raised semantic level: %llu fusions, "
+                     "%zu -> %zu instructions\n",
+                     static_cast<unsigned long long>(stats.totalFused()),
+                     stats.instrsBefore, stats.instrsAfter);
+    }
+
+    if (opts.disasm) {
+        std::fputs(prog.disassemble().c_str(), stdout);
+        return 0;
+    }
+    if (!opts.emitAsm.empty()) {
+        std::ofstream out(opts.emitAsm);
+        if (!out)
+            uhm::fatal("cannot open '%s'", opts.emitAsm.c_str());
+        out << uhm::toDirAssembly(prog);
+        return 0;
+    }
+    if (!opts.emitBin.empty()) {
+        uhm::saveDirProgram(prog, opts.emitBin);
+        return 0;
+    }
+
+    auto image = uhm::encodeDir(prog, opts.scheme);
+    uhm::MachineConfig cfg;
+    cfg.kind = opts.kind;
+    cfg.dtb.capacityBytes = opts.dtbBytes;
+    cfg.dtb.assoc = opts.assoc;
+    cfg.icache.capacityBytes = opts.dtbBytes;
+    cfg.icache.assoc = opts.assoc;
+    cfg.traceEvents = opts.trace;
+
+    uhm::Machine machine(*image, cfg);
+    uhm::RunResult r = machine.run(opts.input);
+
+    for (int64_t v : r.output)
+        std::printf("%lld\n", static_cast<long long>(v));
+
+    std::fprintf(stderr,
+                 "# %s / %s: %llu DIR instrs, %llu cycles "
+                 "(%.2f cycles/instr), image %llu bits\n",
+                 uhm::machineKindName(opts.kind),
+                 uhm::encodingName(opts.scheme),
+                 static_cast<unsigned long long>(r.dirInstrs),
+                 static_cast<unsigned long long>(r.cycles),
+                 r.avgInterpTime(),
+                 static_cast<unsigned long long>(image->bitSize()));
+    if (opts.kind == uhm::MachineKind::Dtb ||
+        opts.kind == uhm::MachineKind::Dtb2) {
+        std::fprintf(stderr, "# dtb hit ratio %.4f", r.dtbHitRatio);
+        if (opts.kind == uhm::MachineKind::Dtb2)
+            std::fprintf(stderr, ", L1 hit ratio %.4f", r.dtbL1HitRatio);
+        std::fprintf(stderr, "\n");
+    }
+    if (opts.stats) {
+        std::fprintf(stderr, "# breakdown: fetch=%llu decode=%llu "
+                     "stage=%llu dispatch=%llu semantic=%llu "
+                     "translate=%llu\n",
+                     static_cast<unsigned long long>(r.breakdown.fetch),
+                     static_cast<unsigned long long>(r.breakdown.decode),
+                     static_cast<unsigned long long>(r.breakdown.stage),
+                     static_cast<unsigned long long>(
+                         r.breakdown.dispatch),
+                     static_cast<unsigned long long>(
+                         r.breakdown.semantic),
+                     static_cast<unsigned long long>(
+                         r.breakdown.translate));
+        std::fputs(r.stats.toString().c_str(), stderr);
+    }
+    if (opts.trace) {
+        size_t shown = 0;
+        for (const std::string &event : r.trace) {
+            std::fprintf(stderr, "# %s\n", event.c_str());
+            if (++shown >= 200) {
+                std::fprintf(stderr, "# ... (%zu more events)\n",
+                             r.trace.size() - shown);
+                break;
+            }
+        }
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,64 @@
+#include "analytic/model.hh"
+
+namespace uhm::analytic
+{
+
+double
+t1(const ModelParams &p)
+{
+    return p.s2 * p.tau2 + p.d + p.x;
+}
+
+double
+t2(const ModelParams &p)
+{
+    return p.s1 * p.tauD + (1.0 - p.hD) * p.s2 * p.tau2 +
+           (1.0 - p.hD) * (p.d + p.g) + p.x;
+}
+
+double
+t3(const ModelParams &p)
+{
+    return p.hc * p.s2 * p.tauD + (1.0 - p.hc) * p.s2 * p.tau2 +
+           p.d + p.x;
+}
+
+double
+f1(const ModelParams &p)
+{
+    return (t3(p) - t2(p)) / t2(p) * 100.0;
+}
+
+double
+f2(const ModelParams &p)
+{
+    return (t1(p) - t2(p)) / t2(p) * 100.0;
+}
+
+double
+paperTable2(double d, double x)
+{
+    return (0.4 + 0.6 * d) / (8.0 + 0.4 * d + x) * 100.0;
+}
+
+double
+paperTable3(double d, double x)
+{
+    return (7.4 + 0.6 * d) / (8.0 + 0.4 * d + x) * 100.0;
+}
+
+const std::vector<double> &
+paperDGrid()
+{
+    static const std::vector<double> grid = {10.0, 20.0, 30.0};
+    return grid;
+}
+
+const std::vector<double> &
+paperXGrid()
+{
+    static const std::vector<double> grid = {5, 10, 15, 20, 25, 30};
+    return grid;
+}
+
+} // namespace uhm::analytic

@@ -1,0 +1,133 @@
+#include "core/dtb.hh"
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+Dtb::Dtb(const DtbConfig &config) : config_(config), rng_(config.seed)
+{
+    uhm_assert(config.unitShortInstrs >= 1, "unit of allocation empty");
+    uint64_t unit_bytes =
+        config.unitShortInstrs * shortInstrBits / 8;
+    uint64_t total_units = config.capacityBytes / unit_bytes;
+    uhm_assert(total_units >= 1, "DTB smaller than one unit");
+
+    overflowTotal_ = config.allowOverflow ?
+        static_cast<uint64_t>(
+            static_cast<double>(total_units) * config.overflowFraction) :
+        0;
+    numEntries_ = total_units - overflowTotal_;
+    uhm_assert(numEntries_ >= 1, "no primary units left");
+    overflowFree_ = overflowTotal_;
+
+    assoc_ = config.assoc == 0 ? static_cast<unsigned>(numEntries_) :
+        config.assoc;
+    uhm_assert(assoc_ <= numEntries_,
+               "associativity exceeds entry count");
+    numSets_ = numEntries_ / assoc_;
+    uhm_assert(numSets_ >= 1, "no sets");
+    // Trim entries that do not fill a whole set.
+    numEntries_ = numSets_ * assoc_;
+
+    entries_.assign(numEntries_, Entry{});
+    repl_.reserve(numSets_);
+    for (uint64_t s = 0; s < numSets_; ++s)
+        repl_.emplace_back(assoc_, config.policy, &rng_);
+}
+
+uint64_t
+Dtb::setOf(uint64_t dir_addr) const
+{
+    // Multiplicative hash of the DIR bit address ("the DIR instruction
+    // address is hashed to select a unique set").
+    uint64_t h = dir_addr * 0x9e3779b97f4a7c15ull;
+    return (h >> 32) % numSets_;
+}
+
+Dtb::LookupResult
+Dtb::lookup(uint64_t dir_addr)
+{
+    uint64_t set = setOf(dir_addr);
+    Entry *set_entries = &entries_[set * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &e = set_entries[way];
+        if (e.valid && e.tag == dir_addr) {
+            repl_[set].touch(way);
+            ++hits_;
+            return {true, &e.code, e.units};
+        }
+    }
+    ++misses_;
+    return {};
+}
+
+bool
+Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
+{
+    unsigned units_needed = static_cast<unsigned>(
+        (code.size() + config_.unitShortInstrs - 1) /
+        config_.unitShortInstrs);
+    if (units_needed == 0)
+        units_needed = 1;
+    unsigned overflow_needed = units_needed - 1;
+
+    if (overflow_needed > 0 && !config_.allowOverflow) {
+        stats_.add("dtb_rejects");
+        return false;
+    }
+
+    uint64_t set = setOf(dir_addr);
+    Entry *set_entries = &entries_[set * assoc_];
+
+    // Prefer an invalid way; otherwise the replacement array's victim.
+    unsigned way = assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set_entries[w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == assoc_) {
+        way = repl_[set].victim();
+        evict(set_entries[way]);
+        stats_.add("dtb_evictions");
+    }
+
+    if (overflow_needed > overflowFree_) {
+        // The secondary area cannot supply the increments; do not retain
+        // the translation. (The primary way stays invalid/evicted.)
+        stats_.add("dtb_rejects");
+        return false;
+    }
+    overflowFree_ -= overflow_needed;
+    stats_.add("dtb_overflow_blocks", overflow_needed);
+
+    Entry &e = set_entries[way];
+    e.tag = dir_addr;
+    e.valid = true;
+    e.code = std::move(code);
+    e.units = units_needed;
+    repl_[set].fill(way);
+    stats_.add("dtb_inserts");
+    return true;
+}
+
+void
+Dtb::evict(Entry &entry)
+{
+    if (entry.valid && entry.units > 1)
+        overflowFree_ += entry.units - 1;
+    entry.valid = false;
+    entry.code.clear();
+    entry.units = 1;
+}
+
+void
+Dtb::invalidateAll()
+{
+    for (Entry &e : entries_)
+        evict(e);
+}
+
+} // namespace uhm

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Dynamic Translation Buffer (section 5).
+ *
+ * The DTB maintains, in a tightly bound (PSDER) representation, the
+ * working set of a program whose static representation is a compact
+ * encoded DIR. Organizationally it follows Figure 2: an associative tag
+ * array (DIR instruction addresses), an address array (explicit pointers
+ * into the buffer array — kept explicit, as section 5.2 argues, so the
+ * unit of allocation can vary per configuration), a replacement array
+ * (per-set recency ordering) and the buffer array itself, which holds
+ * the PSDER short-format instructions and lives in the machine's
+ * directly addressable memory.
+ *
+ * Allocation follows section 5.1: a fixed unit of allocation, optionally
+ * extended by "a variable allocation with fixed size increments" — when
+ * a translation exceeds the unit, additional blocks are taken from a
+ * secondary overflow area and linked to the primary unit. If the
+ * overflow area is exhausted, the translation simply is not retained
+ * (the program still runs; the entry is re-translated on next touch).
+ */
+
+#ifndef UHM_CORE_DTB_HH
+#define UHM_CORE_DTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/replacement.hh"
+#include "psder/short_isa.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace uhm
+{
+
+/** DTB geometry and policy. */
+struct DtbConfig
+{
+    /** Buffer-array capacity in bytes. */
+    uint64_t capacityBytes = 4096;
+    /** Unit of allocation, in short instructions. */
+    unsigned unitShortInstrs = 4;
+    /** Associativity of the address array; 0 = fully associative. */
+    unsigned assoc = 4;
+    ReplPolicy policy = ReplPolicy::LRU;
+    /**
+     * Allow overflow blocks (section 5.1's variable allocation with
+     * fixed increments). When false a translation longer than the unit
+     * of allocation cannot be retained.
+     */
+    bool allowOverflow = true;
+    /** Fraction of buffer units reserved as the overflow area. */
+    double overflowFraction = 0.25;
+    /** Seed for the Random replacement policy. */
+    uint64_t seed = 7;
+};
+
+/** The dynamic translation buffer. */
+class Dtb
+{
+  public:
+    explicit Dtb(const DtbConfig &config);
+
+    /** Result of presenting a DIR address to the associative array. */
+    struct LookupResult
+    {
+        bool hit = false;
+        /** The resident translation (hit only); valid until the next
+         *  lookup/insert. */
+        const std::vector<ShortInstr> *code = nullptr;
+        /** Buffer-array units the resident entry occupies (hit only). */
+        unsigned units = 0;
+    };
+
+    /**
+     * Present @p dir_addr (a DIR bit address) to the DTB: hash to a set,
+     * search the tags, update recency. Counts a hit or a miss.
+     */
+    LookupResult lookup(uint64_t dir_addr);
+
+    /**
+     * Install the translation of @p dir_addr, replacing the set's
+     * least-recently-used entry. Mirrors Figure 4: the replacement logic
+     * picks the location, the tag is stored, and the translation is
+     * written into the buffer array.
+     * @return true if retained; false if the overflow area could not
+     *         supply the needed increments
+     */
+    bool insert(uint64_t dir_addr, std::vector<ShortInstr> code);
+
+    /** Invalidate every entry (e.g. program image replaced). */
+    void invalidateAll();
+
+    /** The set index @p dir_addr hashes to. */
+    uint64_t setOf(uint64_t dir_addr) const;
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    /** Hit ratio so far (the paper's h_D); 1.0 before any access. */
+    double
+    hitRatio() const
+    {
+        uint64_t total = hits_ + misses_;
+        return total == 0 ? 1.0 :
+            static_cast<double>(hits_) / static_cast<double>(total);
+    }
+
+    /** Number of primary entries (address-array size). */
+    uint64_t numEntries() const { return numEntries_; }
+
+    /** Number of sets. */
+    uint64_t numSets() const { return numSets_; }
+
+    /** Ways per set. */
+    unsigned assoc() const { return assoc_; }
+
+    /** Overflow blocks currently free. */
+    uint64_t overflowFree() const { return overflowFree_; }
+
+    /** Total overflow blocks. */
+    uint64_t overflowTotal() const { return overflowTotal_; }
+
+    /** Counters: dtb_evictions, dtb_overflow_blocks, dtb_rejects, ... */
+    const StatSet &stats() const { return stats_; }
+
+    const DtbConfig &config() const { return config_; }
+
+    /** Reset hit/miss counters (contents retained). */
+    void
+    resetStats()
+    {
+        hits_ = misses_ = 0;
+        stats_.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        /** The PSDER translation (primary unit + linked increments). */
+        std::vector<ShortInstr> code;
+        /** Buffer units consumed: 1 primary + overflow increments. */
+        unsigned units = 1;
+    };
+
+    /** Release @p entry's overflow increments and invalidate it. */
+    void evict(Entry &entry);
+
+    DtbConfig config_;
+    uint64_t numEntries_;
+    uint64_t numSets_;
+    unsigned assoc_;
+    uint64_t overflowTotal_;
+    uint64_t overflowFree_;
+    Rng rng_;
+    /** entries_[set * assoc_ + way]. */
+    std::vector<Entry> entries_;
+    std::vector<ReplacementSet> repl_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    StatSet stats_;
+};
+
+} // namespace uhm
+
+#endif // UHM_CORE_DTB_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The dynamic translator (section 4, Figure 4).
+ *
+ * "The dynamic translator fetches the DIR instruction, decodes and
+ * parses it, generates the PSDER translation which it then stores in the
+ * DTB at the selected location. ... since the mapping from DIR to PSDER
+ * is almost one-to-one, the added complexity is not significant and is
+ * easily masked by the number of times that the task of decoding and
+ * parsing is avoided."
+ *
+ * The translator's binding persists over many executions of an
+ * instruction — between the compiler's (whole run) and the
+ * interpreter's (one execution) on the paper's persistence spectrum.
+ */
+
+#ifndef UHM_CORE_TRANSLATOR_HH
+#define UHM_CORE_TRANSLATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dir/encoding.hh"
+#include "psder/staging.hh"
+
+namespace uhm
+{
+
+/** One translated DIR instruction. */
+struct Translation
+{
+    /** The PSDER short-format sequence. */
+    std::vector<ShortInstr> code;
+    /** Decode work performed (feeds the paper's d on the miss path). */
+    DecodeCost decodeCost;
+    /** Encoded length of the DIR instruction in bits (fetch charge). */
+    uint64_t bits = 0;
+    /**
+     * Generation steps: one per emitted short instruction (construct),
+     * mirrored by one buffer-array store each when the translation is
+     * written to the DTB. Together these feed the paper's g.
+     */
+    uint64_t genSteps = 0;
+};
+
+/** Translates DIR instructions to PSDER on DTB misses. */
+class DynamicTranslator
+{
+  public:
+    /** @param image the static representation (must outlive this). */
+    explicit DynamicTranslator(const EncodedDir &image) : image_(&image) {}
+
+    /** Translate the DIR instruction at @p dir_bit_addr. */
+    Translation
+    translate(uint64_t dir_bit_addr) const
+    {
+        DecodeResult res = image_->decodeAt(dir_bit_addr);
+        Staging st = stageInstruction(res.instr, *image_, res.index);
+        Translation tr;
+        tr.code = lowerStaging(st);
+        tr.decodeCost = res.cost;
+        tr.bits = res.nextBitAddr - dir_bit_addr;
+        tr.genSteps = tr.code.size();
+        return tr;
+    }
+
+    const EncodedDir &image() const { return *image_; }
+
+  private:
+    const EncodedDir *image_;
+};
+
+} // namespace uhm
+
+#endif // UHM_CORE_TRANSLATOR_HH

@@ -1,0 +1,421 @@
+#include "dir/asm.hh"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+/** Mnemonic -> opcode map. */
+const std::map<std::string, Op> &
+opByName()
+{
+    static const std::map<std::string, Op> table = [] {
+        std::map<std::string, Op> t;
+        for (size_t i = 0; i < numOps; ++i)
+            t[opName(static_cast<Op>(i))] = static_cast<Op>(i);
+        return t;
+    }();
+    return table;
+}
+
+/** Split a line into whitespace-separated words, stripping comments. */
+std::vector<std::string>
+splitWords(const std::string &line)
+{
+    std::vector<std::string> words;
+    std::string word;
+    for (char c : line) {
+        if (c == ';' || c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!word.empty()) {
+                words.push_back(word);
+                word.clear();
+            }
+        } else {
+            word.push_back(c);
+        }
+    }
+    if (!word.empty())
+        words.push_back(word);
+    return words;
+}
+
+/** Parse "key=value"; fatal with @p line context otherwise. */
+std::pair<std::string, std::string>
+splitAttr(const std::string &word, int line)
+{
+    size_t eq = word.find('=');
+    if (eq == std::string::npos)
+        fatal("line %d: expected key=value, found '%s'", line,
+              word.c_str());
+    return {word.substr(0, eq), word.substr(eq + 1)};
+}
+
+int64_t
+parseInt(const std::string &word, int line)
+{
+    try {
+        size_t used = 0;
+        int64_t v = std::stoll(word, &used);
+        if (used != word.size())
+            throw std::invalid_argument(word);
+        return v;
+    } catch (const std::exception &) {
+        fatal("line %d: expected an integer, found '%s'", line,
+              word.c_str());
+    }
+}
+
+class AsmParser
+{
+  public:
+    DirProgram
+    parse(const std::string &text)
+    {
+        // Implicit main contour.
+        Contour main_ctr;
+        main_ctr.name = "<main>";
+        main_ctr.depth = 1;
+        prog_.contours.push_back(main_ctr);
+        contourIdOf_["<main>"] = 0;
+
+        std::istringstream is(text);
+        std::string line;
+        int lineno = 0;
+        while (std::getline(is, line)) {
+            ++lineno;
+            parseLine(splitWords(line), lineno);
+        }
+        finish();
+        return std::move(prog_);
+    }
+
+  private:
+    void
+    parseLine(const std::vector<std::string> &words, int line)
+    {
+        if (words.empty())
+            return;
+        const std::string &head = words[0];
+
+        if (head == ".program") {
+            need(words, 2, line);
+            prog_.name = words[1];
+            return;
+        }
+        if (head == ".globals") {
+            need(words, 2, line);
+            prog_.numGlobals =
+                static_cast<uint32_t>(parseInt(words[1], line));
+            return;
+        }
+        if (head == ".proc") {
+            parseProc(words, line);
+            return;
+        }
+        if (head == ".in") {
+            need(words, 2, line);
+            currentContour_ = contourId(words[1], line);
+            return;
+        }
+        if (head == ".entry") {
+            need(words, 2, line);
+            entryLabel_ = words[1];
+            entryLine_ = line;
+            return;
+        }
+        if (head[0] == '.')
+            fatal("line %d: unknown directive '%s'", line, head.c_str());
+
+        size_t word_index = 0;
+        if (head.back() == ':') {
+            std::string label = head.substr(0, head.size() - 1);
+            if (!labels_.emplace(label, prog_.instrs.size()).second)
+                fatal("line %d: duplicate label '%s'", line,
+                      label.c_str());
+            ++word_index;
+        }
+        if (word_index >= words.size())
+            return; // label-only line
+        parseInstruction(words, word_index, line);
+    }
+
+    void
+    need(const std::vector<std::string> &words, size_t n, int line)
+    {
+        if (words.size() != n)
+            fatal("line %d: '%s' expects %zu operand(s)", line,
+                  words[0].c_str(), n - 1);
+    }
+
+    void
+    parseProc(const std::vector<std::string> &words, int line)
+    {
+        if (words.size() != 5)
+            fatal("line %d: .proc expects NAME parent= locals= params=",
+                  line);
+        Contour ctr;
+        ctr.name = words[1];
+        if (contourIdOf_.count(ctr.name))
+            fatal("line %d: duplicate contour '%s'", line,
+                  ctr.name.c_str());
+
+        std::string parent_name;
+        for (size_t i = 2; i < words.size(); ++i) {
+            auto [key, value] = splitAttr(words[i], line);
+            if (key == "parent") {
+                parent_name = value;
+            } else if (key == "locals") {
+                ctr.nlocals =
+                    static_cast<uint32_t>(parseInt(value, line));
+            } else if (key == "params") {
+                ctr.nparams =
+                    static_cast<uint32_t>(parseInt(value, line));
+            } else {
+                fatal("line %d: unknown .proc attribute '%s'", line,
+                      key.c_str());
+            }
+        }
+        uint32_t parent = contourId(parent_name, line);
+        const Contour &pctr = prog_.contours[parent];
+        ctr.depth = pctr.depth + 1;
+        // The chain is completed in finish() (globals may not be
+        // declared yet); remember the parent.
+        parents_.push_back(parent);
+        contourIdOf_[ctr.name] =
+            static_cast<uint32_t>(prog_.contours.size());
+        prog_.contours.push_back(std::move(ctr));
+    }
+
+    uint32_t
+    contourId(const std::string &name, int line)
+    {
+        auto it = contourIdOf_.find(name);
+        if (it == contourIdOf_.end())
+            fatal("line %d: unknown contour '%s'", line, name.c_str());
+        return it->second;
+    }
+
+    void
+    parseInstruction(const std::vector<std::string> &words, size_t at,
+                     int line)
+    {
+        auto it = opByName().find(words[at]);
+        if (it == opByName().end())
+            fatal("line %d: unknown opcode '%s'", line,
+                  words[at].c_str());
+        DirInstruction ins(it->second);
+        const OpInfo &info = opInfo(ins.op);
+        if (words.size() - at - 1 != info.operands.size())
+            fatal("line %d: %s expects %zu operand(s)", line, info.name,
+                  info.operands.size());
+
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            const std::string &word = words[at + 1 + k];
+            switch (info.operands[k]) {
+              case OperandKind::Target:
+                if (!word.empty() &&
+                    (std::isdigit(static_cast<unsigned char>(word[0])) ||
+                     word[0] == '-')) {
+                    ins.operands[k] = parseInt(word, line);
+                } else {
+                    targetFixups_.push_back(
+                        {prog_.instrs.size(), k, word, line});
+                }
+                break;
+              case OperandKind::Proc:
+                if (!word.empty() &&
+                    std::isdigit(static_cast<unsigned char>(word[0]))) {
+                    ins.operands[k] = parseInt(word, line);
+                } else {
+                    // Procedure by name; index = contour id - 1.
+                    ins.operands[k] =
+                        static_cast<int64_t>(contourId(word, line)) - 1;
+                }
+                break;
+              default:
+                ins.operands[k] = parseInt(word, line);
+                break;
+            }
+        }
+
+        // The first instruction of a contour is its entry.
+        if (!contourSeen_.count(currentContour_)) {
+            contourSeen_.insert(currentContour_);
+            prog_.contours[currentContour_].entry = prog_.instrs.size();
+        }
+        prog_.instrs.push_back(ins);
+        prog_.contourOf.push_back(currentContour_);
+    }
+
+    void
+    finish()
+    {
+        if (prog_.instrs.empty())
+            fatal("assembly contains no instructions");
+
+        // Complete the slotsAtDepth chains now that globals are known.
+        prog_.contours[0].slotsAtDepth = {prog_.numGlobals, 0};
+        for (size_t c = 1; c < prog_.contours.size(); ++c) {
+            Contour &ctr = prog_.contours[c];
+            const Contour &parent = prog_.contours[parents_[c - 1]];
+            ctr.slotsAtDepth = parent.slotsAtDepth;
+            ctr.slotsAtDepth.push_back(ctr.nlocals);
+        }
+
+        for (const auto &fixup : targetFixups_) {
+            auto it = labels_.find(fixup.label);
+            if (it == labels_.end())
+                fatal("line %d: unknown label '%s'", fixup.line,
+                      fixup.label.c_str());
+            prog_.instrs[fixup.instr].operands[fixup.operand] =
+                static_cast<int64_t>(it->second);
+        }
+
+        if (!entryLabel_.empty()) {
+            auto it = labels_.find(entryLabel_);
+            if (it == labels_.end())
+                fatal("line %d: unknown entry label '%s'", entryLine_,
+                      entryLabel_.c_str());
+            prog_.entry = it->second;
+        }
+
+        for (size_t c = 1; c < prog_.contours.size(); ++c) {
+            if (!contourSeen_.count(static_cast<uint32_t>(c)))
+                fatal("contour '%s' has no instructions",
+                      prog_.contours[c].name.c_str());
+        }
+
+        prog_.validate();
+    }
+
+    struct TargetFixup
+    {
+        size_t instr;
+        size_t operand;
+        std::string label;
+        int line;
+    };
+
+    DirProgram prog_;
+    std::map<std::string, uint32_t> contourIdOf_;
+    /** Parent contour of contours 1..n. */
+    std::vector<uint32_t> parents_;
+    std::map<std::string, size_t> labels_;
+    std::vector<TargetFixup> targetFixups_;
+    std::set<uint32_t> contourSeen_;
+    uint32_t currentContour_ = 0;
+    std::string entryLabel_;
+    int entryLine_ = 0;
+};
+
+} // anonymous namespace
+
+DirProgram
+parseDirAssembly(const std::string &text)
+{
+    AsmParser parser;
+    return parser.parse(text);
+}
+
+std::string
+toDirAssembly(const DirProgram &program)
+{
+    std::ostringstream os;
+    os << ".program " << program.name << "\n";
+    os << ".globals " << program.numGlobals << "\n";
+
+    // Assembly contour names must be unique; disambiguate duplicates
+    // (same proc name in different scopes) with a $index suffix.
+    std::vector<std::string> asm_name(program.contours.size());
+    {
+        std::set<std::string> used = {"<main>"};
+        asm_name[0] = "<main>";
+        for (size_t c = 1; c < program.contours.size(); ++c) {
+            std::string name = program.contours[c].name;
+            if (!used.insert(name).second) {
+                name += "$" + std::to_string(c);
+                used.insert(name);
+            }
+            asm_name[c] = name;
+        }
+    }
+
+    // Contours (skipping implicit <main>): find each parent — a prior
+    // contour one level up whose chain is a prefix of this one's.
+    for (size_t c = 1; c < program.contours.size(); ++c) {
+        const Contour &ctr = program.contours[c];
+        std::string parent = "<main>";
+        for (size_t p = 0; p < c; ++p) {
+            const Contour &cand = program.contours[p];
+            if (cand.depth + 1 != ctr.depth)
+                continue;
+            bool prefix = cand.slotsAtDepth.size() + 1 ==
+                          ctr.slotsAtDepth.size();
+            for (size_t i = 0; prefix && i < cand.slotsAtDepth.size();
+                 ++i) {
+                prefix = cand.slotsAtDepth[i] == ctr.slotsAtDepth[i];
+            }
+            if (prefix) {
+                parent = asm_name[p];
+                break;
+            }
+        }
+        os << ".proc " << asm_name[c] << " parent=" << parent
+           << " locals=" << ctr.nlocals << " params=" << ctr.nparams
+           << "\n";
+    }
+
+    // Labels: branch targets, contour entries, the program entry.
+    std::map<size_t, std::string> label_of;
+    auto ensure_label = [&](size_t index) {
+        if (!label_of.count(index))
+            label_of[index] = "L" + std::to_string(index);
+    };
+    for (const DirInstruction &ins : program.instrs) {
+        const OpInfo &info = opInfo(ins.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            if (info.operands[k] == OperandKind::Target)
+                ensure_label(static_cast<size_t>(ins.operands[k]));
+        }
+    }
+    ensure_label(program.entry);
+    os << ".entry " << label_of[program.entry] << "\n\n";
+
+    uint32_t current = 0;
+    for (size_t i = 0; i < program.instrs.size(); ++i) {
+        if (program.contourOf[i] != current || i == 0) {
+            current = program.contourOf[i];
+            os << ".in " << asm_name[current] << "\n";
+        }
+        if (label_of.count(i))
+            os << label_of[i] << ":\n";
+        const DirInstruction &ins = program.instrs[i];
+        const OpInfo &info = opInfo(ins.op);
+        os << "    " << info.name;
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            if (info.operands[k] == OperandKind::Target) {
+                os << " "
+                   << label_of[static_cast<size_t>(ins.operands[k])];
+            } else if (info.operands[k] == OperandKind::Proc) {
+                os << " " << asm_name[ins.operands[k] + 1];
+            } else {
+                os << " " << ins.operands[k];
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace uhm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Textual DIR assembly.
+ *
+ * The DIR is a genuine level of representation, so it deserves both
+ * directions: DirProgram::disassemble() gives a human listing, and this
+ * module gives a *round-trippable* assembly syntax — write DIR programs
+ * directly (tests, tools, hand-tuned kernels) or dump and re-read
+ * compiled ones.
+ *
+ * Syntax:
+ * @verbatim
+ *   ; comment (also '#')
+ *   .program NAME
+ *   .globals N
+ *   .proc NAME parent=NAME locals=N params=N   ; contours, in order;
+ *                                              ; parent '<main>' or a
+ *                                              ; previously declared proc
+ *   .in NAME             ; following instructions belong to contour NAME
+ *                        ; (default <main>); the first instruction seen
+ *                        ; for a contour becomes its entry
+ *   .entry LABEL         ; program entry (default: first instruction)
+ *   label:               ; labels name instruction addresses
+ *   OPCODE operand...    ; operands: integers, 'label' for targets,
+ *                        ; 'proc-name' for CALLP
+ * @endverbatim
+ */
+
+#ifndef UHM_DIR_ASM_HH
+#define UHM_DIR_ASM_HH
+
+#include <string>
+
+#include "dir/program.hh"
+
+namespace uhm
+{
+
+/**
+ * Parse DIR assembly text into a validated program.
+ * Syntax or semantic errors raise FatalError with a line number.
+ */
+DirProgram parseDirAssembly(const std::string &text);
+
+/**
+ * Render @p program as round-trippable assembly:
+ * parseDirAssembly(toDirAssembly(p)) reproduces p exactly (instructions,
+ * contours, entry, globals).
+ */
+std::string toDirAssembly(const DirProgram &program);
+
+} // namespace uhm
+
+#endif // UHM_DIR_ASM_HH

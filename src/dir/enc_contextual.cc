@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Contextual encoding: per-contour operand field sizes.
+ *
+ * "Some economy can be achieved by using contextual information when
+ * selecting field sizes; for instance, the scope rules of the HLR limit
+ * the number of variables that may be referenced from within a given
+ * contour. The operand specification field needs only as many bits as
+ * are needed to select from amongst these variables. The field length is
+ * variable but fixed within any single contour." (section 3.2)
+ *
+ * Depth fields use bitsFor(contour depth); slot fields use
+ * bitsFor(slots visible at the already-decoded depth). The decoder must
+ * consult the contour table before extracting such fields, which it pays
+ * for in tableLookups — the paper's "the interpreter must keep track of
+ * the various field sizes as the contour changes and refer to the current
+ * field size before extracting the field."
+ */
+
+#include <algorithm>
+
+#include "dir/encoding.hh"
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+class ContextualDir : public EncodedDir
+{
+  public:
+    explicit ContextualDir(const DirProgram &program)
+        : EncodedDir(EncodingScheme::Contextual, program)
+    {
+        opWidth_ = bitsFor(numOps - 1);
+        // Non-contour fields are sized exactly as in the packed
+        // encoding so the contextual saving is attributable to the
+        // scope rules alone.
+        std::vector<uint64_t> maxima = program.operandMaxima();
+        auto width_of = [&](OperandKind kind) -> unsigned {
+            switch (kind) {
+              case OperandKind::Target:
+                return bitsFor(program.instrs.size() - 1);
+              case OperandKind::Proc:
+                return bitsFor(std::max<size_t>(program.contours.size(),
+                                                2) - 2);
+              default:
+                return bitsFor(maxima[static_cast<size_t>(kind)]);
+            }
+        };
+        for (size_t k = 0; k < numOperandKinds; ++k)
+            kindWidth_[k] = width_of(static_cast<OperandKind>(k));
+
+        BitWriter bw;
+        for (size_t i = 0; i < program.instrs.size(); ++i) {
+            const DirInstruction &ins = program.instrs[i];
+            const Contour &ctr = program.contours[program.contourOf[i]];
+            bitAddrs_.push_back(bw.bitSize());
+            bw.write(static_cast<uint64_t>(ins.op), opWidth_);
+            const OpInfo &info = opInfo(ins.op);
+            for (size_t k = 0; k < info.operands.size(); ++k) {
+                OperandKind kind = info.operands[k];
+                uint64_t v = kind == OperandKind::Imm ?
+                    zigzagEncode(ins.operands[k]) :
+                    static_cast<uint64_t>(ins.operands[k]);
+                bw.write(v, fieldWidth(ctr, kind, ins, k));
+            }
+        }
+        bitSize_ = bw.bitSize();
+        bytes_ = bw.takeBytes();
+    }
+
+    DecodeResult
+    decodeAt(uint64_t bit_addr) const override
+    {
+        BitReader br(bytes_.data(), bitSize_);
+        br.seek(bit_addr);
+
+        DecodeResult res;
+        res.index = indexOfBitAddr(bit_addr);
+        const Contour &ctr =
+            program_->contours[program_->contourOf[res.index]];
+        // Fetching the current contour descriptor is one table lookup.
+        res.cost.tableLookups += 1;
+
+        uint64_t opv = br.read(opWidth_);
+        uhm_assert(opv < numOps, "bad opcode %llu",
+                   static_cast<unsigned long long>(opv));
+        res.instr.op = static_cast<Op>(opv);
+        res.cost.fieldExtracts += 1;
+
+        const OpInfo &info = opInfo(res.instr.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            OperandKind kind = info.operands[k];
+            unsigned width = fieldWidth(ctr, kind, res.instr, k);
+            if (kind == OperandKind::Depth || kind == OperandKind::Slot) {
+                // The width itself had to be looked up first.
+                res.cost.tableLookups += 1;
+            }
+            uint64_t v = br.read(width);
+            res.instr.operands[k] = kind == OperandKind::Imm ?
+                zigzagDecode(v) : static_cast<int64_t>(v);
+            res.cost.fieldExtracts += 1;
+        }
+        res.nextBitAddr = br.pos();
+        return res;
+    }
+
+    uint64_t
+    metadataBits() const override
+    {
+        // The contour table: one byte-sized slot count per depth per
+        // contour, plus depth and entry words.
+        uint64_t bits = 0;
+        for (const Contour &c : program_->contours)
+            bits += (c.slotsAtDepth.size() + 2) * 8;
+        return bits;
+    }
+
+  private:
+    /**
+     * Width of operand @p k of @p ins inside contour @p ctr. Slot
+     * widths depend on the preceding (already coded/decoded) depth
+     * operand.
+     */
+    unsigned
+    fieldWidth(const Contour &ctr, OperandKind kind,
+               const DirInstruction &ins, size_t k) const
+    {
+        switch (kind) {
+          case OperandKind::Depth:
+            return bitsFor(ctr.depth);
+          case OperandKind::Slot: {
+            int64_t depth = ins.operands[k - 1];
+            uint32_t slots = ctr.slotsAtDepth[depth];
+            uhm_assert(slots >= 1, "slot field into empty depth");
+            return bitsFor(slots - 1);
+          }
+          default:
+            return kindWidth_[static_cast<size_t>(kind)];
+        }
+    }
+
+    unsigned opWidth_ = 0;
+    unsigned kindWidth_[numOperandKinds] = {};
+};
+
+} // anonymous namespace
+
+std::unique_ptr<EncodedDir>
+makeContextualDir(const DirProgram &program)
+{
+    return std::make_unique<ContextualDir>(program);
+}
+
+} // namespace uhm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Expanded encoding: every field occupies a full 32-bit machine word.
+ *
+ * This models the size and (trivial) decode cost of an expanded
+ * machine-language representation — the paper's reference point at the
+ * origin of the encoding axis. Decoding needs one word fetch per field
+ * and no masking.
+ */
+
+#include "dir/encoding.hh"
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+constexpr unsigned wordBits = 32;
+
+class ExpandedDir : public EncodedDir
+{
+  public:
+    explicit ExpandedDir(const DirProgram &program)
+        : EncodedDir(EncodingScheme::Expanded, program)
+    {
+        BitWriter bw;
+        for (const DirInstruction &ins : program.instrs) {
+            bitAddrs_.push_back(bw.bitSize());
+            bw.write(static_cast<uint64_t>(ins.op), wordBits);
+            const OpInfo &info = opInfo(ins.op);
+            for (size_t k = 0; k < info.operands.size(); ++k) {
+                uint64_t v = info.operands[k] == OperandKind::Imm ?
+                    zigzagEncode(ins.operands[k]) :
+                    static_cast<uint64_t>(ins.operands[k]);
+                uhm_assert(v < (1ull << wordBits),
+                           "operand does not fit a word");
+                bw.write(v, wordBits);
+            }
+        }
+        bitSize_ = bw.bitSize();
+        bytes_ = bw.takeBytes();
+    }
+
+    DecodeResult
+    decodeAt(uint64_t bit_addr) const override
+    {
+        BitReader br(bytes_.data(), bitSize_);
+        br.seek(bit_addr);
+
+        DecodeResult res;
+        res.index = indexOfBitAddr(bit_addr);
+
+        uint64_t opv = br.read(wordBits);
+        uhm_assert(opv < numOps, "bad opcode %llu",
+                   static_cast<unsigned long long>(opv));
+        res.instr.op = static_cast<Op>(opv);
+        res.cost.fieldExtracts += 1;
+
+        const OpInfo &info = opInfo(res.instr.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            uint64_t v = br.read(wordBits);
+            res.instr.operands[k] = info.operands[k] == OperandKind::Imm ?
+                zigzagDecode(v) : static_cast<int64_t>(v);
+            res.cost.fieldExtracts += 1;
+        }
+        res.nextBitAddr = br.pos();
+        return res;
+    }
+
+    uint64_t metadataBits() const override { return 0; }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<EncodedDir>
+makeExpandedDir(const DirProgram &program)
+{
+    return std::make_unique<ExpandedDir>(program);
+}
+
+} // namespace uhm

@@ -1,0 +1,52 @@
+#include "dir/enc_huffman_common.hh"
+
+namespace uhm
+{
+
+std::vector<TokenTable>
+buildTokenTables(const DirProgram &program)
+{
+    std::vector<TokenTable> tables(numOperandKinds);
+
+    // First pass: collect distinct values per kind.
+    for (const DirInstruction &ins : program.instrs) {
+        const OpInfo &info = opInfo(ins.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            TokenTable &tt = tables[static_cast<size_t>(info.operands[k])];
+            tt.used = true;
+            int64_t v = ins.operands[k];
+            if (tt.tokenOf.emplace(
+                    v, static_cast<uint32_t>(tt.values.size())).second) {
+                tt.values.push_back(v);
+            }
+        }
+    }
+
+    // Second pass: token frequencies, then codes.
+    std::vector<std::vector<uint64_t>> freqs(numOperandKinds);
+    for (size_t k = 0; k < numOperandKinds; ++k)
+        freqs[k].assign(tables[k].values.size(), 0);
+    for (const DirInstruction &ins : program.instrs) {
+        const OpInfo &info = opInfo(ins.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            size_t ki = static_cast<size_t>(info.operands[k]);
+            ++freqs[ki][tables[ki].tokenOf.at(ins.operands[k])];
+        }
+    }
+    for (size_t k = 0; k < numOperandKinds; ++k) {
+        if (tables[k].used)
+            tables[k].code = HuffmanCode::build(freqs[k]);
+    }
+    return tables;
+}
+
+std::vector<uint64_t>
+opcodeFrequencies(const DirProgram &program)
+{
+    std::vector<uint64_t> freqs(numOps, 0);
+    for (const DirInstruction &ins : program.instrs)
+        ++freqs[static_cast<size_t>(ins.op)];
+    return freqs;
+}
+
+} // namespace uhm

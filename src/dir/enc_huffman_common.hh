@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared machinery for the frequency-based (Huffman) DIR encodings:
+ * per-operand-kind token dictionaries with Huffman-coded token numbers.
+ *
+ * Operand values (constants, slots, targets, ...) are replaced by
+ * dictionary tokens — the paper's "symbolic names ... replaced by
+ * numerical tokens" taken to its coding-theoretic end: the token numbers
+ * themselves are Huffman coded by static frequency.
+ */
+
+#ifndef UHM_DIR_ENC_HUFFMAN_COMMON_HH
+#define UHM_DIR_ENC_HUFFMAN_COMMON_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dir/program.hh"
+#include "support/huffman.hh"
+
+namespace uhm
+{
+
+/** Token dictionary + prefix code for one operand kind. */
+struct TokenTable
+{
+    /** token -> operand value. */
+    std::vector<int64_t> values;
+    /** operand value -> token. */
+    std::map<int64_t, uint32_t> tokenOf;
+    /** Prefix code over tokens. */
+    HuffmanCode code;
+    /** True if this kind occurs in the program. */
+    bool used = false;
+
+    /** Bits of resident metadata (value table + decode tree). */
+    uint64_t
+    metadataBits() const
+    {
+        if (!used)
+            return 0;
+        // 32-bit value per token plus two 16-bit links per tree node.
+        return values.size() * 32 + code.decodeTreeNodes() * 32;
+    }
+};
+
+/** Build the token tables (dictionary + code) for every operand kind. */
+std::vector<TokenTable> buildTokenTables(const DirProgram &program);
+
+/** Static opcode frequencies of @p program. */
+std::vector<uint64_t> opcodeFrequencies(const DirProgram &program);
+
+} // namespace uhm
+
+#endif // UHM_DIR_ENC_HUFFMAN_COMMON_HH

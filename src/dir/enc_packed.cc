@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Packed encoding: fixed-width bit fields spanning word boundaries.
+ *
+ * "The simplest form of encoding involves the use of fields which are
+ * packed together and allowed to span the boundaries of the units of
+ * memory access. Typically the size of each field is fixed and large
+ * enough to specify all possible alternatives." (section 3.2)
+ *
+ * One field width per operand kind, computed from the program's operand
+ * maxima; the opcode field is just wide enough for the opcode alphabet.
+ */
+
+#include <algorithm>
+
+#include "dir/encoding.hh"
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+class PackedDir : public EncodedDir
+{
+  public:
+    explicit PackedDir(const DirProgram &program)
+        : EncodedDir(EncodingScheme::Packed, program)
+    {
+        opWidth_ = bitsFor(numOps - 1);
+        // Fields are "large enough to specify all possible
+        // alternatives": any contour depth, any visible slot, any
+        // instruction index, any procedure. Immediates and counts are
+        // sized from the program's literal pool.
+        std::vector<uint64_t> maxima = program.operandMaxima();
+        auto width_of = [&](OperandKind kind) -> unsigned {
+            switch (kind) {
+              case OperandKind::Depth:
+                return bitsFor(program.maxDepth());
+              case OperandKind::Slot:
+                return bitsFor(program.maxVisibleSlots() - 1);
+              case OperandKind::Target:
+                return bitsFor(program.instrs.size() - 1);
+              case OperandKind::Proc:
+                return bitsFor(std::max<size_t>(program.contours.size(),
+                                                2) - 2);
+              default:
+                return bitsFor(maxima[static_cast<size_t>(kind)]);
+            }
+        };
+        for (size_t k = 0; k < numOperandKinds; ++k)
+            kindWidth_[k] = width_of(static_cast<OperandKind>(k));
+
+        BitWriter bw;
+        for (const DirInstruction &ins : program.instrs) {
+            bitAddrs_.push_back(bw.bitSize());
+            bw.write(static_cast<uint64_t>(ins.op), opWidth_);
+            const OpInfo &info = opInfo(ins.op);
+            for (size_t k = 0; k < info.operands.size(); ++k) {
+                uint64_t v = info.operands[k] == OperandKind::Imm ?
+                    zigzagEncode(ins.operands[k]) :
+                    static_cast<uint64_t>(ins.operands[k]);
+                bw.write(v, widthOf(info.operands[k]));
+            }
+        }
+        bitSize_ = bw.bitSize();
+        bytes_ = bw.takeBytes();
+    }
+
+    DecodeResult
+    decodeAt(uint64_t bit_addr) const override
+    {
+        BitReader br(bytes_.data(), bitSize_);
+        br.seek(bit_addr);
+
+        DecodeResult res;
+        res.index = indexOfBitAddr(bit_addr);
+
+        uint64_t opv = br.read(opWidth_);
+        uhm_assert(opv < numOps, "bad opcode %llu",
+                   static_cast<unsigned long long>(opv));
+        res.instr.op = static_cast<Op>(opv);
+        res.cost.fieldExtracts += 1;
+
+        const OpInfo &info = opInfo(res.instr.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            uint64_t v = br.read(widthOf(info.operands[k]));
+            res.instr.operands[k] = info.operands[k] == OperandKind::Imm ?
+                zigzagDecode(v) : static_cast<int64_t>(v);
+            res.cost.fieldExtracts += 1;
+        }
+        res.nextBitAddr = br.pos();
+        return res;
+    }
+
+    uint64_t
+    metadataBits() const override
+    {
+        // One byte-sized width entry per operand kind.
+        return numOperandKinds * 8;
+    }
+
+  private:
+    unsigned
+    widthOf(OperandKind kind) const
+    {
+        return kindWidth_[static_cast<size_t>(kind)];
+    }
+
+    unsigned opWidth_ = 0;
+    unsigned kindWidth_[numOperandKinds] = {};
+};
+
+} // anonymous namespace
+
+std::unique_ptr<EncodedDir>
+makePackedDir(const DirProgram &program)
+{
+    return std::make_unique<PackedDir>(program);
+}
+
+} // namespace uhm

@@ -1,0 +1,72 @@
+#include "dir/encoding.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+// Factories implemented by the per-scheme translation units.
+std::unique_ptr<EncodedDir> makeExpandedDir(const DirProgram &program);
+std::unique_ptr<EncodedDir> makePackedDir(const DirProgram &program);
+std::unique_ptr<EncodedDir> makeContextualDir(const DirProgram &program);
+std::unique_ptr<EncodedDir> makeHuffmanDir(const DirProgram &program);
+std::unique_ptr<EncodedDir> makePairHuffmanDir(const DirProgram &program);
+std::unique_ptr<EncodedDir> makeQuantizedDir(const DirProgram &program);
+
+const char *
+encodingName(EncodingScheme scheme)
+{
+    switch (scheme) {
+      case EncodingScheme::Expanded:    return "expanded";
+      case EncodingScheme::Packed:      return "packed";
+      case EncodingScheme::Contextual:  return "contextual";
+      case EncodingScheme::Huffman:     return "huffman";
+      case EncodingScheme::PairHuffman: return "pair-huffman";
+      case EncodingScheme::Quantized:   return "quantized";
+      default: panic("bad encoding scheme");
+    }
+}
+
+const std::vector<EncodingScheme> &
+allEncodingSchemes()
+{
+    static const std::vector<EncodingScheme> all = {
+        EncodingScheme::Expanded,
+        EncodingScheme::Packed,
+        EncodingScheme::Contextual,
+        EncodingScheme::Huffman,
+        EncodingScheme::PairHuffman,
+        EncodingScheme::Quantized,
+    };
+    return all;
+}
+
+size_t
+EncodedDir::indexOfBitAddr(uint64_t bit_addr) const
+{
+    auto it = std::lower_bound(bitAddrs_.begin(), bitAddrs_.end(),
+                               bit_addr);
+    uhm_assert(it != bitAddrs_.end() && *it == bit_addr,
+               "bit address %llu is not an instruction boundary",
+               static_cast<unsigned long long>(bit_addr));
+    return static_cast<size_t>(it - bitAddrs_.begin());
+}
+
+std::unique_ptr<EncodedDir>
+encodeDir(const DirProgram &program, EncodingScheme scheme)
+{
+    program.validate();
+    switch (scheme) {
+      case EncodingScheme::Expanded:    return makeExpandedDir(program);
+      case EncodingScheme::Packed:      return makePackedDir(program);
+      case EncodingScheme::Contextual:  return makeContextualDir(program);
+      case EncodingScheme::Huffman:     return makeHuffmanDir(program);
+      case EncodingScheme::PairHuffman: return makePairHuffmanDir(program);
+      case EncodingScheme::Quantized:   return makeQuantizedDir(program);
+      default: panic("bad encoding scheme");
+    }
+}
+
+} // namespace uhm

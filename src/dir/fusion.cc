@@ -1,0 +1,180 @@
+#include "dir/fusion.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+/** Context for pattern matching at one program point. */
+class Fuser
+{
+  public:
+    explicit Fuser(const DirProgram &program) : prog_(program)
+    {
+        // Indices that must remain instruction starts.
+        referenced_.insert(program.entry);
+        for (const Contour &c : program.contours)
+            referenced_.insert(c.entry);
+        for (const DirInstruction &ins : program.instrs) {
+            const OpInfo &info = opInfo(ins.op);
+            for (size_t k = 0; k < info.operands.size(); ++k) {
+                if (info.operands[k] == OperandKind::Target) {
+                    referenced_.insert(
+                        static_cast<size_t>(ins.operands[k]));
+                }
+            }
+        }
+    }
+
+    /**
+     * Try to fuse the group starting at @p i.
+     * @return the fused instruction and the group length, or length 0.
+     */
+    std::pair<DirInstruction, size_t>
+    match(size_t i) const
+    {
+        // Longest pattern first: PUSHL d s; PUSHC c; ADD|SUB; STOREL d s.
+        if (groupOk(i, 4) && is(i, Op::PUSHL) && is(i + 1, Op::PUSHC) &&
+            (is(i + 2, Op::ADD) || is(i + 2, Op::SUB)) &&
+            is(i + 3, Op::STOREL) && sameVar(i, i + 3)) {
+            int64_t delta = at(i + 1).operands[0];
+            if (is(i + 2, Op::SUB))
+                delta = -delta;
+            return {{Op::INCL, at(i).operands[0], at(i).operands[1],
+                     delta},
+                    4};
+        }
+        if (groupOk(i, 2)) {
+            if (is(i, Op::PUSHC) && is(i + 1, Op::STOREL)) {
+                return {{Op::SETL, at(i + 1).operands[0],
+                         at(i + 1).operands[1], at(i).operands[0]},
+                        2};
+            }
+            if (is(i, Op::PUSHL) && is(i + 1, Op::WRITE)) {
+                return {{Op::WRITEL, at(i).operands[0],
+                         at(i).operands[1]},
+                        2};
+            }
+            if (is(i, Op::PUSHL) && is(i + 1, Op::JZ)) {
+                return {{Op::BRZL, at(i).operands[0], at(i).operands[1],
+                         at(i + 1).operands[0]},
+                        2};
+            }
+            if (is(i, Op::PUSHL) && is(i + 1, Op::JNZ)) {
+                return {{Op::BRNZL, at(i).operands[0], at(i).operands[1],
+                         at(i + 1).operands[0]},
+                        2};
+            }
+            if (is(i, Op::PUSHL) && is(i + 1, Op::PUSHL)) {
+                return {{Op::PUSHL2, at(i).operands[0],
+                         at(i).operands[1], at(i + 1).operands[0],
+                         at(i + 1).operands[1]},
+                        2};
+            }
+        }
+        return {{}, 0};
+    }
+
+  private:
+    const DirInstruction &at(size_t i) const { return prog_.instrs[i]; }
+
+    bool is(size_t i, Op op) const { return at(i).op == op; }
+
+    bool
+    sameVar(size_t a, size_t b) const
+    {
+        return at(a).operands[0] == at(b).operands[0] &&
+               at(a).operands[1] == at(b).operands[1];
+    }
+
+    /**
+     * True if instructions [i, i+len) exist, share a contour, and no
+     * interior index is a branch target / entry.
+     */
+    bool
+    groupOk(size_t i, size_t len) const
+    {
+        if (i + len > prog_.instrs.size())
+            return false;
+        for (size_t k = 1; k < len; ++k) {
+            if (prog_.contourOf[i + k] != prog_.contourOf[i])
+                return false;
+            if (referenced_.count(i + k))
+                return false;
+        }
+        return true;
+    }
+
+    const DirProgram &prog_;
+    std::set<size_t> referenced_;
+};
+
+} // anonymous namespace
+
+DirProgram
+raiseSemanticLevel(const DirProgram &program, FusionStats *stats)
+{
+    program.validate();
+    Fuser fuser(program);
+
+    DirProgram out;
+    out.name = program.name;
+    out.numGlobals = program.numGlobals;
+    out.contours = program.contours;
+
+    // First pass: emit, recording old-start -> new index.
+    std::vector<size_t> new_index(program.instrs.size(), SIZE_MAX);
+    FusionStats local;
+    local.instrsBefore = program.size();
+
+    size_t i = 0;
+    while (i < program.instrs.size()) {
+        auto [fused, len] = fuser.match(i);
+        new_index[i] = out.instrs.size();
+        if (len > 0) {
+            out.instrs.push_back(fused);
+            out.contourOf.push_back(program.contourOf[i]);
+            ++local.fused[fused.op];
+            i += len;
+        } else {
+            out.instrs.push_back(program.instrs[i]);
+            out.contourOf.push_back(program.contourOf[i]);
+            ++i;
+        }
+    }
+
+    // Second pass: retarget branches, entries, contour entries. Every
+    // referenced index is a group start, so new_index is defined there.
+    auto remap = [&](size_t old) {
+        uhm_assert(old < new_index.size() &&
+                   new_index[old] != SIZE_MAX,
+                   "fusion broke a referenced index %zu", old);
+        return new_index[old];
+    };
+    for (DirInstruction &ins : out.instrs) {
+        const OpInfo &info = opInfo(ins.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            if (info.operands[k] == OperandKind::Target) {
+                ins.operands[k] = static_cast<int64_t>(
+                    remap(static_cast<size_t>(ins.operands[k])));
+            }
+        }
+    }
+    out.entry = remap(program.entry);
+    for (Contour &c : out.contours)
+        c.entry = remap(c.entry);
+
+    local.instrsAfter = out.size();
+    if (stats)
+        *stats = local;
+
+    out.validate();
+    return out;
+}
+
+} // namespace uhm

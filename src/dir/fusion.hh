@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Raising the semantic level of a DIR (the vertical axis of Figure 1).
+ *
+ * "The level of a PSDER can be raised by increasing the complexity and
+ * variety of the procedures ... In the case of a DIR one can,
+ * analogously, increase the complexity and variety of the opcodes,
+ * addressing modes and branch instructions." (section 3.2)
+ *
+ * raiseSemanticLevel() peephole-fuses the most common multi-instruction
+ * idioms the compiler emits into single higher-level opcodes:
+ *
+ *   PUSHC c ; STOREL d s                      -> SETL  d s c
+ *   PUSHL d s ; PUSHC c ; ADD|SUB ; STOREL d s -> INCL d s +-c
+ *   PUSHL d s ; WRITE                          -> WRITEL d s
+ *   PUSHL d s ; JZ t / JNZ t                   -> BRZL / BRNZL d s t
+ *   PUSHL a b ; PUSHL c d                      -> PUSHL2 a b c d
+ *
+ * A group is fused only when no branch target, contour entry or the
+ * program entry lands in its interior and all members share a contour.
+ * The result is a semantically identical program with fewer, larger
+ * instructions — less per-instruction interpretation overhead at the
+ * cost of a bigger opcode vocabulary (more semantic routines resident),
+ * exactly Figure 1's level-axis trade.
+ */
+
+#ifndef UHM_DIR_FUSION_HH
+#define UHM_DIR_FUSION_HH
+
+#include <cstdint>
+#include <map>
+
+#include "dir/program.hh"
+
+namespace uhm
+{
+
+/** What the fusion pass did. */
+struct FusionStats
+{
+    /** Fused instructions produced, by opcode. */
+    std::map<Op, uint64_t> fused;
+    /** Instructions before / after. */
+    size_t instrsBefore = 0;
+    size_t instrsAfter = 0;
+
+    uint64_t
+    totalFused() const
+    {
+        uint64_t n = 0;
+        for (const auto &kv : fused)
+            n += kv.second;
+        return n;
+    }
+};
+
+/**
+ * Produce the raised-level equivalent of @p program.
+ * @param stats if non-null, receives what was fused
+ */
+DirProgram raiseSemanticLevel(const DirProgram &program,
+                              FusionStats *stats = nullptr);
+
+} // namespace uhm
+
+#endif // UHM_DIR_FUSION_HH

@@ -1,0 +1,113 @@
+#include "dir/isa.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+using K = OperandKind;
+
+/** Build the opcode metadata table once. */
+const std::array<OpInfo, numOps> &
+opTable()
+{
+    static const std::array<OpInfo, numOps> table = [] {
+        std::array<OpInfo, numOps> t{};
+        auto set = [&](Op op, const char *name,
+                       std::vector<OperandKind> operands, int delta) {
+            t[static_cast<size_t>(op)] = {name, std::move(operands), delta};
+        };
+        set(Op::PUSHC,  "PUSHC",  {K::Imm}, 1);
+        set(Op::PUSHL,  "PUSHL",  {K::Depth, K::Slot}, 1);
+        set(Op::STOREL, "STOREL", {K::Depth, K::Slot}, -1);
+        set(Op::ADDR,   "ADDR",   {K::Depth, K::Slot}, 1);
+        set(Op::LOADI,  "LOADI",  {}, 0);
+        set(Op::STOREI, "STOREI", {}, -2);
+        set(Op::DUP,    "DUP",    {}, 1);
+        set(Op::DROP,   "DROP",   {}, -1);
+        set(Op::SWAP,   "SWAP",   {}, 0);
+        set(Op::ADD,    "ADD",    {}, -1);
+        set(Op::SUB,    "SUB",    {}, -1);
+        set(Op::MUL,    "MUL",    {}, -1);
+        set(Op::DIV,    "DIV",    {}, -1);
+        set(Op::MOD,    "MOD",    {}, -1);
+        set(Op::NEG,    "NEG",    {}, 0);
+        set(Op::AND,    "AND",    {}, -1);
+        set(Op::OR,     "OR",     {}, -1);
+        set(Op::XOR,    "XOR",    {}, -1);
+        set(Op::NOT,    "NOT",    {}, 0);
+        set(Op::SHL,    "SHL",    {}, -1);
+        set(Op::SHR,    "SHR",    {}, -1);
+        set(Op::EQ,     "EQ",     {}, -1);
+        set(Op::NE,     "NE",     {}, -1);
+        set(Op::LT,     "LT",     {}, -1);
+        set(Op::LE,     "LE",     {}, -1);
+        set(Op::GT,     "GT",     {}, -1);
+        set(Op::GE,     "GE",     {}, -1);
+        set(Op::JMP,    "JMP",    {K::Target}, 0);
+        set(Op::JZ,     "JZ",     {K::Target}, -1);
+        set(Op::JNZ,    "JNZ",    {K::Target}, -1);
+        set(Op::CALLP,  "CALLP",  {K::Proc}, 0);
+        set(Op::ENTER,  "ENTER",  {K::Depth, K::Count, K::Count}, 0);
+        set(Op::RET,    "RET",    {K::Depth, K::Count}, 0);
+        set(Op::READ,   "READ",   {}, 1);
+        set(Op::WRITE,  "WRITE",  {}, -1);
+        set(Op::SEMWORK,"SEMWORK",{K::Imm}, 0);
+        set(Op::NOP,    "NOP",    {}, 0);
+        set(Op::HALT,   "HALT",   {}, 0);
+        set(Op::SETL,   "SETL",   {K::Depth, K::Slot, K::Imm}, 0);
+        set(Op::INCL,   "INCL",   {K::Depth, K::Slot, K::Imm}, 0);
+        set(Op::WRITEL, "WRITEL", {K::Depth, K::Slot}, 0);
+        set(Op::PUSHL2, "PUSHL2",
+            {K::Depth, K::Slot, K::Depth, K::Slot}, 2);
+        set(Op::BRZL,   "BRZL",   {K::Depth, K::Slot, K::Target}, 0);
+        set(Op::BRNZL,  "BRNZL",  {K::Depth, K::Slot, K::Target}, 0);
+        return t;
+    }();
+    return table;
+}
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    size_t idx = static_cast<size_t>(op);
+    uhm_assert(idx < numOps, "bad opcode %zu", idx);
+    return opTable()[idx];
+}
+
+bool
+isControlTransfer(Op op)
+{
+    switch (op) {
+      case Op::JMP:
+      case Op::JZ:
+      case Op::JNZ:
+      case Op::BRZL:
+      case Op::BRNZL:
+      case Op::CALLP:
+      case Op::RET:
+      case Op::HALT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+DirInstruction::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    for (size_t i = 0; i < opArity(op); ++i)
+        os << " " << operands[i];
+    return os.str();
+}
+
+} // namespace uhm

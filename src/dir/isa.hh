@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The DIR instruction set.
+ *
+ * The DIR (directly interpretable representation, section 2.3 of the
+ * paper) is the static intermediate level a HLR compiles into: a
+ * stack-oriented, context-insensitive instruction stream that needs no
+ * associative memory and no preliminary scan to interpret. Names have
+ * been bound to (contour depth, slot) coordinates, expressions have been
+ * unravelled to postfix order and symbolic names replaced by numeric
+ * tokens — exactly the compilation outcome section 3.3 calls for.
+ */
+
+#ifndef UHM_DIR_ISA_HH
+#define UHM_DIR_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhm
+{
+
+/** DIR opcodes. */
+enum class Op : uint8_t
+{
+    // Constants and variable access (contour-model addressing).
+    PUSHC,   ///< push a signed constant (imm)
+    PUSHL,   ///< push variable at (depth, slot)
+    STOREL,  ///< pop into variable at (depth, slot)
+    ADDR,    ///< push the address of (depth, slot); base of array access
+    LOADI,   ///< pop address, push memory word at it
+    STOREI,  ///< pop address, pop value, store value at address
+
+    // Operand-stack manipulation.
+    DUP,     ///< duplicate top of stack
+    DROP,    ///< discard top of stack
+    SWAP,    ///< exchange the top two entries
+
+    // Arithmetic.
+    ADD, SUB, MUL, DIV, MOD, NEG,
+
+    // Bitwise / logical.
+    AND, OR, XOR, NOT, SHL, SHR,
+
+    // Comparisons (push 1 or 0).
+    EQ, NE, LT, LE, GT, GE,
+
+    // Control transfer. Targets are DIR instruction indices.
+    JMP,     ///< unconditional jump (target)
+    JZ,      ///< pop; jump if zero (target)
+    JNZ,     ///< pop; jump if nonzero (target)
+    CALLP,   ///< call procedure (proc index); args already pushed
+    ENTER,   ///< procedure prologue: (depth, nlocals, nparams)
+    RET,     ///< procedure epilogue + return: (depth, nlocals)
+
+    // Input / output.
+    READ,    ///< push the next input value
+    WRITE,   ///< pop and append to the output stream
+
+    // Miscellaneous.
+    SEMWORK, ///< synthetic semantic work: spin (imm) micro-cycles
+    NOP,
+    HALT,
+
+    // Fused (raised-semantic-level) opcodes, produced by the section
+    // 3.2 "increase the complexity and variety of the opcodes" pass
+    // (dir/fusion.hh). Each replaces a common multi-instruction idiom.
+    SETL,    ///< (depth, slot, imm): var := imm
+    INCL,    ///< (depth, slot, imm): var := var + imm
+    WRITEL,  ///< (depth, slot): write var
+    PUSHL2,  ///< (d1, s1, d2, s2): push two variables
+    BRZL,    ///< (depth, slot, target): branch if var == 0
+    BRNZL,   ///< (depth, slot, target): branch if var != 0
+
+    NUM_OPS
+};
+
+/** Number of distinct DIR opcodes. */
+constexpr size_t numOps = static_cast<size_t>(Op::NUM_OPS);
+
+/** Kinds of operand fields a DIR instruction can carry. */
+enum class OperandKind : uint8_t
+{
+    Imm,     ///< signed immediate constant
+    Depth,   ///< contour depth coordinate
+    Slot,    ///< variable slot within a contour
+    Target,  ///< branch target (DIR instruction index)
+    Proc,    ///< procedure index
+    Count,   ///< small unsigned count (locals, params)
+
+    NUM_KINDS
+};
+
+/** Number of distinct operand kinds. */
+constexpr size_t numOperandKinds =
+    static_cast<size_t>(OperandKind::NUM_KINDS);
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    /** Mnemonic. */
+    const char *name;
+    /** Operand field kinds, in encoding order. */
+    std::vector<OperandKind> operands;
+    /** Net change in operand-stack depth (calls/returns excluded). */
+    int stackDelta;
+};
+
+/** Metadata for @p op. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic for @p op. */
+inline const char *opName(Op op) { return opInfo(op).name; }
+
+/** Number of operand fields @p op carries. */
+inline size_t opArity(Op op) { return opInfo(op).operands.size(); }
+
+/** True if @p op transfers control (its successor is not index+1). */
+bool isControlTransfer(Op op);
+
+/** One decoded DIR instruction. */
+struct DirInstruction
+{
+    Op op = Op::NOP;
+    /** Operand values; operands[i] has kind opInfo(op).operands[i]. */
+    std::array<int64_t, 4> operands = {0, 0, 0, 0};
+
+    DirInstruction() = default;
+    DirInstruction(Op o) : op(o) {}
+    DirInstruction(Op o, int64_t a) : op(o), operands{a, 0, 0, 0} {}
+    DirInstruction(Op o, int64_t a, int64_t b)
+        : op(o), operands{a, b, 0, 0}
+    {}
+    DirInstruction(Op o, int64_t a, int64_t b, int64_t c)
+        : op(o), operands{a, b, c, 0}
+    {}
+    DirInstruction(Op o, int64_t a, int64_t b, int64_t c, int64_t d)
+        : op(o), operands{a, b, c, d}
+    {}
+
+    bool operator==(const DirInstruction &other) const = default;
+
+    /** Human-readable rendering, e.g. "PUSHL 1 3". */
+    std::string toString() const;
+};
+
+} // namespace uhm
+
+#endif // UHM_DIR_ISA_HH

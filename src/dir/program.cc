@@ -1,0 +1,149 @@
+#include "dir/program.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+unsigned
+DirProgram::maxDepth() const
+{
+    unsigned d = 1;
+    for (const Contour &c : contours)
+        d = std::max(d, c.depth);
+    return d;
+}
+
+uint32_t
+DirProgram::maxVisibleSlots() const
+{
+    uint32_t slots = 1;
+    for (const Contour &c : contours)
+        for (uint32_t s : c.slotsAtDepth)
+            slots = std::max(slots, s);
+    return slots;
+}
+
+void
+DirProgram::validate() const
+{
+    uhm_assert(!instrs.empty(), "empty program");
+    uhm_assert(contourOf.size() == instrs.size(),
+               "contourOf size mismatch (%zu vs %zu)",
+               contourOf.size(), instrs.size());
+    uhm_assert(!contours.empty(), "no contours");
+    uhm_assert(contours[0].depth == 1, "main contour must be depth 1");
+    uhm_assert(entry < instrs.size(), "entry out of bounds");
+
+    for (const Contour &c : contours) {
+        uhm_assert(c.slotsAtDepth.size() == c.depth + 1,
+                   "contour '%s': slotsAtDepth has %zu entries, want %u",
+                   c.name.c_str(), c.slotsAtDepth.size(), c.depth + 1);
+        uhm_assert(c.slotsAtDepth[0] == numGlobals,
+                   "contour '%s': global slot count mismatch",
+                   c.name.c_str());
+        uhm_assert(c.slotsAtDepth[c.depth] == c.nlocals,
+                   "contour '%s': own slot count mismatch",
+                   c.name.c_str());
+        uhm_assert(c.nparams <= c.nlocals,
+                   "contour '%s': more params than locals",
+                   c.name.c_str());
+        uhm_assert(c.entry < instrs.size(),
+                   "contour '%s': entry out of bounds", c.name.c_str());
+    }
+
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        const DirInstruction &ins = instrs[i];
+        const OpInfo &info = opInfo(ins.op);
+        uint32_t cid = contourOf[i];
+        uhm_assert(cid < contours.size(),
+                   "instr %zu: bad contour id %u", i, cid);
+        const Contour &ctr = contours[cid];
+
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            int64_t v = ins.operands[k];
+            switch (info.operands[k]) {
+              case OperandKind::Imm:
+                break;
+              case OperandKind::Depth:
+                uhm_assert(v >= 0 && v <= ctr.depth,
+                           "instr %zu (%s): depth %lld out of contour",
+                           i, info.name, static_cast<long long>(v));
+                break;
+              case OperandKind::Slot: {
+                // Slot operands always follow a Depth operand.
+                uhm_assert(k > 0 &&
+                           info.operands[k - 1] == OperandKind::Depth,
+                           "instr %zu: slot without depth", i);
+                int64_t depth = ins.operands[k - 1];
+                uhm_assert(v >= 0 &&
+                           static_cast<uint64_t>(v) <
+                               ctr.slotsAtDepth[depth],
+                           "instr %zu (%s): slot %lld out of range at "
+                           "depth %lld", i, info.name,
+                           static_cast<long long>(v),
+                           static_cast<long long>(depth));
+                break;
+              }
+              case OperandKind::Target:
+                uhm_assert(v >= 0 &&
+                           static_cast<size_t>(v) < instrs.size(),
+                           "instr %zu (%s): target %lld out of bounds",
+                           i, info.name, static_cast<long long>(v));
+                break;
+              case OperandKind::Proc:
+                uhm_assert(v >= 0 &&
+                           static_cast<size_t>(v) + 1 < contours.size(),
+                           "instr %zu (%s): proc %lld out of bounds",
+                           i, info.name, static_cast<long long>(v));
+                break;
+              case OperandKind::Count:
+                uhm_assert(v >= 0, "instr %zu (%s): negative count",
+                           i, info.name);
+                break;
+              default:
+                panic("instr %zu: bad operand kind", i);
+            }
+        }
+    }
+}
+
+std::vector<uint64_t>
+DirProgram::operandMaxima() const
+{
+    std::vector<uint64_t> maxima(numOperandKinds, 0);
+    for (const DirInstruction &ins : instrs) {
+        const OpInfo &info = opInfo(ins.op);
+        for (size_t k = 0; k < info.operands.size(); ++k) {
+            OperandKind kind = info.operands[k];
+            uint64_t v = kind == OperandKind::Imm ?
+                zigzagEncode(ins.operands[k]) :
+                static_cast<uint64_t>(ins.operands[k]);
+            size_t ki = static_cast<size_t>(kind);
+            maxima[ki] = std::max(maxima[ki], v);
+        }
+    }
+    return maxima;
+}
+
+std::string
+DirProgram::disassemble() const
+{
+    std::ostringstream os;
+    os << "; program " << name << ", " << instrs.size()
+       << " instrs, " << numGlobals << " globals\n";
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        for (const Contour &c : contours) {
+            if (c.entry == i)
+                os << c.name << ":\n";
+        }
+        os << "  " << i << ":\t" << instrs[i].toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace uhm

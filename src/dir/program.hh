@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DIR program container.
+ *
+ * A DirProgram is the unencoded (symbolic) form of a compiled program:
+ * the instruction list plus the contour table that records, for every
+ * block/procedure, how many variable slots are visible at each enclosing
+ * depth. The contour table serves two masters: the contextual encoder
+ * (section 3.2: "the scope rules of the HLR limit the number of variables
+ * that may be referenced from within a given contour", so operand fields
+ * can shrink per contour) and the machine's display-based addressing.
+ */
+
+#ifndef UHM_DIR_PROGRAM_HH
+#define UHM_DIR_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dir/isa.hh"
+
+namespace uhm
+{
+
+/**
+ * One contour (lexical scope): the main program or one procedure.
+ * Contour 0 is always the main program at depth 1; contour p+1 is
+ * procedure index p.
+ */
+struct Contour
+{
+    /** Source-level name (diagnostics only). */
+    std::string name;
+    /** Lexical depth; globals live at depth 0, main at depth 1. */
+    unsigned depth = 1;
+    /** Local slots, parameters included. */
+    unsigned nlocals = 0;
+    /** Parameter count (parameters occupy slots 0..nparams-1). */
+    unsigned nparams = 0;
+    /** DIR index of the contour's ENTER instruction. */
+    size_t entry = 0;
+    /** True if the procedure leaves a result on the operand stack. */
+    bool isFunc = false;
+    /**
+     * Number of slots visible at each depth 0..depth along the static
+     * chain; slotsAtDepth[0] is the global count.
+     */
+    std::vector<uint32_t> slotsAtDepth;
+};
+
+/** A complete DIR program in symbolic (unencoded) form. */
+class DirProgram
+{
+  public:
+    /** Program name (diagnostics only). */
+    std::string name;
+    /** The instruction stream. */
+    std::vector<DirInstruction> instrs;
+    /** Contour id of each instruction (parallel to instrs). */
+    std::vector<uint32_t> contourOf;
+    /** Contour table; entry 0 is the main program. */
+    std::vector<Contour> contours;
+    /** Number of global (depth 0) variable slots. */
+    uint32_t numGlobals = 0;
+    /** Index of the first instruction to execute. */
+    size_t entry = 0;
+
+    /** Number of instructions. */
+    size_t size() const { return instrs.size(); }
+
+    /** Contour of procedure index @p proc (CALLP operand). */
+    const Contour &
+    procContour(size_t proc) const
+    {
+        return contours.at(proc + 1);
+    }
+
+    /** Deepest contour depth in the program. */
+    unsigned maxDepth() const;
+
+    /**
+     * Largest number of slots visible at any single depth from any
+     * contour; sizes the packed encoder's slot field ("large enough to
+     * specify all possible alternatives").
+     */
+    uint32_t maxVisibleSlots() const;
+
+    /**
+     * Check structural invariants: operand ranges, in-bounds branch
+     * targets and procedure indices, contour table consistency.
+     * Panics on violation (these are compiler/generator bugs).
+     */
+    void validate() const;
+
+    /**
+     * Largest operand value per operand kind, after zig-zag mapping of
+     * immediates; drives the packed encoder's field widths.
+     */
+    std::vector<uint64_t> operandMaxima() const;
+
+    /** Multi-line disassembly listing. */
+    std::string disassemble() const;
+};
+
+} // namespace uhm
+
+#endif // UHM_DIR_PROGRAM_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary serialization of DIR programs.
+ *
+ * The static representation is meant to live in storage between runs;
+ * this module gives it a durable binary form: a magic/version header,
+ * varint-packed program structure, and an FNV-1a checksum trailer.
+ * Encoded images are not serialized directly — every encoder is a
+ * deterministic function of the program, so program + scheme reproduces
+ * any image bit-for-bit on load.
+ */
+
+#ifndef UHM_DIR_SERIALIZE_HH
+#define UHM_DIR_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dir/program.hh"
+
+namespace uhm
+{
+
+/** Serialize @p program to its binary form. */
+std::vector<uint8_t> serializeDirProgram(const DirProgram &program);
+
+/**
+ * Reconstruct a program from @p bytes. Truncated, corrupted or
+ * version-mismatched data raises FatalError; the result is validated.
+ */
+DirProgram deserializeDirProgram(const std::vector<uint8_t> &bytes);
+
+/** Serialize @p program to @p path (fatal on I/O failure). */
+void saveDirProgram(const DirProgram &program, const std::string &path);
+
+/** Load a program from @p path (fatal on I/O or format failure). */
+DirProgram loadDirProgram(const std::string &path);
+
+} // namespace uhm
+
+#endif // UHM_DIR_SERIALIZE_HH

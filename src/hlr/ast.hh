@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Abstract syntax tree of the Contour language.
+ *
+ * The tree is the program's high-level representation: names are still
+ * symbolic, scoping is implicit in block nesting, and expressions are
+ * hierarchical — the properties the compiler's binding step removes when
+ * lowering to the DIR.
+ *
+ * Nodes are tagged structs (a Kind enum plus a child vector) rather than
+ * a class-per-node hierarchy; the grammar is small enough that a single
+ * shape keeps the parser, the compiler and the direct interpreter short.
+ */
+
+#ifndef UHM_HLR_AST_HH
+#define UHM_HLR_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hlr/token.hh"
+
+namespace uhm::hlr
+{
+
+/** Binary and unary operators (shared tag space). */
+enum class AstOp : uint8_t
+{
+    Add, Sub, Mul, Div, Mod,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or,
+    Neg, Not,
+    None
+};
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind : uint8_t
+    {
+        Number,   ///< integer literal (value)
+        Var,      ///< scalar variable reference (name)
+        Index,    ///< array element (name, kids[0] = index)
+        Call,     ///< function call (name, kids = args)
+        Unary,    ///< op, kids[0]
+        Binary,   ///< op, kids[0], kids[1]
+    };
+
+    Kind kind;
+    SourceLoc loc;
+    int64_t value = 0;
+    std::string name;
+    AstOp op = AstOp::None;
+    std::vector<std::unique_ptr<Expr>> kids;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Block;
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind : uint8_t
+    {
+        Assign,    ///< name [index] := value; exprs[0]=value, exprs[1]=index?
+        If,        ///< exprs[0]=cond, body=then, elseBody=else
+        While,     ///< exprs[0]=cond, body
+        Call,      ///< call name(args); exprs = args
+        Write,     ///< exprs[0]
+        Read,      ///< read name [index]; exprs[0]=index?
+        Return,    ///< exprs[0]=value?
+        For,       ///< for name := exprs[0] to exprs[1] do body od
+        Repeat,    ///< repeat body until exprs[0]
+    };
+
+    Kind kind;
+    SourceLoc loc;
+    std::string name;
+    std::vector<ExprPtr> exprs;
+    std::vector<std::unique_ptr<Stmt>> body;
+    std::vector<std::unique_ptr<Stmt>> elseBody;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A named compile-time constant. */
+struct ConstDecl
+{
+    std::string name;
+    int64_t value = 0;
+    SourceLoc loc;
+};
+
+/** A declared variable: scalar (arraySize 0) or array. */
+struct VarDecl
+{
+    std::string name;
+    /** 0 for a scalar; otherwise the number of elements. */
+    uint32_t arraySize = 0;
+    SourceLoc loc;
+};
+
+/** A procedure or function declaration. */
+struct ProcDecl
+{
+    std::string name;
+    std::vector<std::string> params;
+    bool isFunc = false;
+    std::unique_ptr<Block> block;
+    SourceLoc loc;
+};
+
+/** A block: declarations followed by a statement list. */
+struct Block
+{
+    std::vector<ConstDecl> consts;
+    std::vector<VarDecl> vars;
+    std::vector<ProcDecl> procs;
+    std::vector<StmtPtr> body;
+};
+
+/** A whole parsed program. */
+struct AstProgram
+{
+    std::string name;
+    Block main;
+};
+
+/** Pretty-print an expression (round-trip tests). */
+std::string toString(const Expr &expr);
+
+} // namespace uhm::hlr
+
+#endif // UHM_HLR_AST_HH

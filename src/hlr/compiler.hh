@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The Contour-to-DIR compiler.
+ *
+ * This is the binding step of section 3.3: symbolic names are bound to
+ * (contour depth, slot) coordinates so no associative memory is needed
+ * at run time, the expression trees are unravelled into postfix order,
+ * and control structure becomes explicit branches. What the compiler
+ * binds stays bound for the life of the program — the long-persistence
+ * end of the paper's binding spectrum (section 4).
+ *
+ * Calling convention (shared with the machine's semantic routines):
+ *  - the caller pushes arguments left to right, then CALLP;
+ *  - the callee's ENTER(depth, nlocals, nparams) saves the display entry
+ *    for its depth, allocates a frame of nlocals slots and pops the
+ *    nparams arguments into slots nparams-1 .. 0;
+ *  - functions leave their result on the operand stack across RET;
+ *  - RET(depth, nlocals) releases the frame, restores the display entry
+ *    and returns through the return-address stack.
+ */
+
+#ifndef UHM_HLR_COMPILER_HH
+#define UHM_HLR_COMPILER_HH
+
+#include <string>
+
+#include "dir/program.hh"
+#include "hlr/ast.hh"
+
+namespace uhm::hlr
+{
+
+/**
+ * Compile a parsed program to DIR. Semantic errors (undeclared or
+ * misused names, arity mismatches, ...) are collected and reported
+ * together via FatalError.
+ */
+DirProgram compile(const AstProgram &ast);
+
+/** Lex, parse and compile @p source in one step. */
+DirProgram compileSource(const std::string &source);
+
+} // namespace uhm::hlr
+
+#endif // UHM_HLR_COMPILER_HH

@@ -1,0 +1,228 @@
+#include "hlr/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace uhm::hlr
+{
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::Number:    return "number";
+      case Tok::Ident:     return "identifier";
+      case Tok::KwProgram: return "'program'";
+      case Tok::KwVar:     return "'var'";
+      case Tok::KwConst:   return "'const'";
+      case Tok::KwProc:    return "'proc'";
+      case Tok::KwFunc:    return "'func'";
+      case Tok::KwBegin:   return "'begin'";
+      case Tok::KwEnd:     return "'end'";
+      case Tok::KwIf:      return "'if'";
+      case Tok::KwThen:    return "'then'";
+      case Tok::KwElse:    return "'else'";
+      case Tok::KwFi:      return "'fi'";
+      case Tok::KwWhile:   return "'while'";
+      case Tok::KwDo:      return "'do'";
+      case Tok::KwOd:      return "'od'";
+      case Tok::KwFor:     return "'for'";
+      case Tok::KwTo:      return "'to'";
+      case Tok::KwRepeat:  return "'repeat'";
+      case Tok::KwUntil:   return "'until'";
+      case Tok::KwCall:    return "'call'";
+      case Tok::KwWrite:   return "'write'";
+      case Tok::KwRead:    return "'read'";
+      case Tok::KwReturn:  return "'return'";
+      case Tok::KwAnd:     return "'and'";
+      case Tok::KwOr:      return "'or'";
+      case Tok::KwNot:     return "'not'";
+      case Tok::Semi:      return "';'";
+      case Tok::Comma:     return "','";
+      case Tok::LParen:    return "'('";
+      case Tok::RParen:    return "')'";
+      case Tok::LBracket:  return "'['";
+      case Tok::RBracket:  return "']'";
+      case Tok::Dot:       return "'.'";
+      case Tok::Assign:    return "':='";
+      case Tok::Plus:      return "'+'";
+      case Tok::Minus:     return "'-'";
+      case Tok::Star:      return "'*'";
+      case Tok::Slash:     return "'/'";
+      case Tok::Percent:   return "'%%'";
+      case Tok::Eq:        return "'='";
+      case Tok::Ne:        return "'<>'";
+      case Tok::Lt:        return "'<'";
+      case Tok::Le:        return "'<='";
+      case Tok::Gt:        return "'>'";
+      case Tok::Ge:        return "'>='";
+      case Tok::EndOfFile: return "end of input";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const std::map<std::string, Tok> &
+keywords()
+{
+    static const std::map<std::string, Tok> kw = {
+        {"program", Tok::KwProgram}, {"var", Tok::KwVar},
+        {"const", Tok::KwConst},     {"for", Tok::KwFor},
+        {"to", Tok::KwTo},           {"repeat", Tok::KwRepeat},
+        {"until", Tok::KwUntil},
+        {"proc", Tok::KwProc},       {"func", Tok::KwFunc},
+        {"begin", Tok::KwBegin},     {"end", Tok::KwEnd},
+        {"if", Tok::KwIf},           {"then", Tok::KwThen},
+        {"else", Tok::KwElse},       {"fi", Tok::KwFi},
+        {"while", Tok::KwWhile},     {"do", Tok::KwDo},
+        {"od", Tok::KwOd},           {"call", Tok::KwCall},
+        {"write", Tok::KwWrite},     {"read", Tok::KwRead},
+        {"return", Tok::KwReturn},   {"and", Tok::KwAnd},
+        {"or", Tok::KwOr},           {"not", Tok::KwNot},
+    };
+    return kw;
+}
+
+} // anonymous namespace
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+char
+Lexer::peek() const
+{
+    return atEnd() ? '\0' : src_[pos_];
+}
+
+char
+Lexer::advance()
+{
+    char c = src_[pos_++];
+    if (c == '\n') {
+        ++loc_.line;
+        loc_.col = 1;
+    } else {
+        ++loc_.col;
+    }
+    return c;
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> tokens;
+    for (;;) {
+        Token t = next();
+        tokens.push_back(t);
+        if (t.kind == Tok::EndOfFile)
+            break;
+    }
+    return tokens;
+}
+
+Token
+Lexer::next()
+{
+    // Skip whitespace and '#' comments.
+    for (;;) {
+        while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+            advance();
+        if (!atEnd() && peek() == '#') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+            continue;
+        }
+        break;
+    }
+
+    Token t;
+    t.loc = loc_;
+    if (atEnd()) {
+        t.kind = Tok::EndOfFile;
+        return t;
+    }
+
+    char c = advance();
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        int64_t v = c - '0';
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+            int64_t digit = advance() - '0';
+            if (v > (INT64_MAX - digit) / 10) {
+                fatal("%s: integer literal overflows",
+                      t.loc.toString().c_str());
+            }
+            v = v * 10 + digit;
+        }
+        t.kind = Tok::Number;
+        t.value = v;
+        return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word(1, c);
+        while (!atEnd() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_')) {
+            word.push_back(advance());
+        }
+        auto it = keywords().find(word);
+        if (it != keywords().end()) {
+            t.kind = it->second;
+        } else {
+            t.kind = Tok::Ident;
+            t.text = std::move(word);
+        }
+        return t;
+    }
+
+    switch (c) {
+      case ';': t.kind = Tok::Semi; return t;
+      case ',': t.kind = Tok::Comma; return t;
+      case '(': t.kind = Tok::LParen; return t;
+      case ')': t.kind = Tok::RParen; return t;
+      case '[': t.kind = Tok::LBracket; return t;
+      case ']': t.kind = Tok::RBracket; return t;
+      case '.': t.kind = Tok::Dot; return t;
+      case '+': t.kind = Tok::Plus; return t;
+      case '-': t.kind = Tok::Minus; return t;
+      case '*': t.kind = Tok::Star; return t;
+      case '/': t.kind = Tok::Slash; return t;
+      case '%': t.kind = Tok::Percent; return t;
+      case '=': t.kind = Tok::Eq; return t;
+      case ':':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::Assign;
+            return t;
+        }
+        fatal("%s: expected '=' after ':'", t.loc.toString().c_str());
+      case '<':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::Le;
+        } else if (peek() == '>') {
+            advance();
+            t.kind = Tok::Ne;
+        } else {
+            t.kind = Tok::Lt;
+        }
+        return t;
+      case '>':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::Ge;
+        } else {
+            t.kind = Tok::Gt;
+        }
+        return t;
+      default:
+        fatal("%s: stray character '%c'", t.loc.toString().c_str(), c);
+    }
+}
+
+} // namespace uhm::hlr

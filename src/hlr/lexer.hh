@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lexer for the Contour language.
+ */
+
+#ifndef UHM_HLR_LEXER_HH
+#define UHM_HLR_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "hlr/token.hh"
+
+namespace uhm::hlr
+{
+
+/**
+ * Turns source text into a token stream. Comments run from '#' to end of
+ * line. Lexical errors raise FatalError with a source location.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Lex the whole input; the last token is always EndOfFile. */
+    std::vector<Token> lexAll();
+
+  private:
+    Token next();
+    char peek() const;
+    char advance();
+    bool atEnd() const { return pos_ >= src_.size(); }
+
+    std::string src_;
+    size_t pos_ = 0;
+    SourceLoc loc_;
+};
+
+} // namespace uhm::hlr
+
+#endif // UHM_HLR_LEXER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tokens of the Contour language.
+ *
+ * Contour is the HLR of this reproduction: a small ALGOL-style
+ * block-structured language with nested procedures, chosen to exhibit
+ * exactly the HLR properties section 2.2 enumerates — hierarchical
+ * syntax, block structure with name scoping (an implicit associative
+ * memory), infix notation and symbolic names of unbounded length.
+ */
+
+#ifndef UHM_HLR_TOKEN_HH
+#define UHM_HLR_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uhm::hlr
+{
+
+/** A position in the source text. */
+struct SourceLoc
+{
+    int line = 1;
+    int col = 1;
+
+    std::string
+    toString() const
+    {
+        return std::to_string(line) + ":" + std::to_string(col);
+    }
+};
+
+/** Token kinds. */
+enum class Tok : uint8_t
+{
+    // Literals and names.
+    Number, Ident,
+
+    // Keywords.
+    KwProgram, KwVar, KwConst, KwProc, KwFunc, KwBegin, KwEnd,
+    KwIf, KwThen, KwElse, KwFi, KwWhile, KwDo, KwOd,
+    KwFor, KwTo, KwRepeat, KwUntil,
+    KwCall, KwWrite, KwRead, KwReturn, KwAnd, KwOr, KwNot,
+
+    // Punctuation and operators.
+    Semi, Comma, LParen, RParen, LBracket, RBracket, Dot,
+    Assign,                  // :=
+    Plus, Minus, Star, Slash, Percent,
+    Eq, Ne, Lt, Le, Gt, Ge,  // = <> < <= > >=
+
+    EndOfFile
+};
+
+/** Printable name of a token kind. */
+const char *tokName(Tok kind);
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::EndOfFile;
+    /** Identifier spelling (Ident only). */
+    std::string text;
+    /** Literal value (Number only). */
+    int64_t value = 0;
+    SourceLoc loc;
+};
+
+} // namespace uhm::hlr
+
+#endif // UHM_HLR_TOKEN_HH

@@ -1,0 +1,70 @@
+#include "mem/cache.hh"
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    uhm_assert(config.lineBytes >= 1, "line size must be positive");
+    uhm_assert(config.capacityBytes >= config.lineBytes,
+               "capacity smaller than one line");
+    uint64_t num_lines = config.capacityBytes / config.lineBytes;
+    uhm_assert(num_lines >= 1, "no lines");
+
+    assoc_ = config.assoc == 0 ? static_cast<unsigned>(num_lines) :
+        config.assoc;
+    uhm_assert(assoc_ <= num_lines, "associativity exceeds line count");
+    numSets_ = num_lines / assoc_;
+    uhm_assert(numSets_ >= 1, "no sets");
+
+    lines_.assign(numSets_ * assoc_, Line{});
+    repl_.reserve(numSets_);
+    for (uint64_t s = 0; s < numSets_; ++s)
+        repl_.emplace_back(assoc_, config.policy, &rng_);
+}
+
+bool
+SetAssocCache::access(uint64_t byte_addr)
+{
+    uint64_t line_addr = byte_addr / config_.lineBytes;
+    uint64_t set = line_addr % numSets_;
+    uint64_t tag = line_addr / numSets_;
+
+    Line *set_lines = &lines_[set * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (set_lines[way].valid && set_lines[way].tag == tag) {
+            repl_[set].touch(way);
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: prefer an invalid way, else evict the policy's victim.
+    unsigned victim = assoc_;
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (!set_lines[way].valid) {
+            victim = way;
+            break;
+        }
+    }
+    if (victim == assoc_)
+        victim = repl_[set].victim();
+
+    set_lines[victim].tag = tag;
+    set_lines[victim].valid = true;
+    repl_[set].fill(victim);
+    ++misses_;
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+} // namespace uhm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The two-level directly addressable memory of the universal host.
+ *
+ * The address space is word-granular (one 64-bit word per address).
+ * Addresses below the level-1 boundary belong to the small fast memory
+ * (which holds the interpreter, the semantic routines, the operand stack
+ * and — in the preferred organization of section 6.2 — the DTB buffer
+ * array); everything above is level-2 (program image and data). Each
+ * access is charged tau1 or tau2 and counted.
+ */
+
+#ifndef UHM_MEM_MEMORY_HH
+#define UHM_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/timing.hh"
+#include "support/stats.hh"
+
+namespace uhm
+{
+
+/** Word-addressed two-level memory with access accounting. */
+class MainMemory
+{
+  public:
+    /**
+     * @param level1_words size of the fast level in words
+     * @param timing access times
+     */
+    MainMemory(uint64_t level1_words, MemTiming timing)
+        : level1Words_(level1_words), timing_(timing)
+    {}
+
+    /** Read the word at @p addr, charging the appropriate level. */
+    int64_t
+    read(uint64_t addr)
+    {
+        charge(addr);
+        return addr < store_.size() ? store_[addr] : 0;
+    }
+
+    /** Write the word at @p addr, charging the appropriate level. */
+    void
+    write(uint64_t addr, int64_t value)
+    {
+        charge(addr);
+        if (addr >= store_.size())
+            store_.resize(addr + 1, 0);
+        store_[addr] = value;
+    }
+
+    /** Read without charging cycles (loader / debugger use). */
+    int64_t
+    peek(uint64_t addr) const
+    {
+        return addr < store_.size() ? store_[addr] : 0;
+    }
+
+    /** Write without charging cycles (loader / debugger use). */
+    void
+    poke(uint64_t addr, int64_t value)
+    {
+        if (addr >= store_.size())
+            store_.resize(addr + 1, 0);
+        store_[addr] = value;
+    }
+
+    /** True if @p addr lies in the fast level. */
+    bool isLevel1(uint64_t addr) const { return addr < level1Words_; }
+
+    /** Accumulated access cycles. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** Timing parameters in force. */
+    const MemTiming &timing() const { return timing_; }
+
+    /** Size of the fast level in words. */
+    uint64_t level1Words() const { return level1Words_; }
+
+    /** Access counters: mem_level1_accesses, mem_level2_accesses. */
+    const StatSet &stats() const { return stats_; }
+
+    /** Reset cycle and access counters (not contents). */
+    void
+    resetStats()
+    {
+        cycles_ = 0;
+        stats_.clear();
+    }
+
+  private:
+    void
+    charge(uint64_t addr)
+    {
+        if (addr < level1Words_) {
+            cycles_ += timing_.tau1;
+            stats_.add("mem_level1_accesses");
+        } else {
+            cycles_ += timing_.tau2;
+            stats_.add("mem_level2_accesses");
+        }
+    }
+
+    std::vector<int64_t> store_;
+    uint64_t level1Words_;
+    MemTiming timing_;
+    uint64_t cycles_ = 0;
+    StatSet stats_;
+};
+
+} // namespace uhm
+
+#endif // UHM_MEM_MEMORY_HH

@@ -1,0 +1,62 @@
+#include "mem/replacement.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:    return "lru";
+      case ReplPolicy::FIFO:   return "fifo";
+      case ReplPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+ReplacementSet::ReplacementSet(unsigned ways, ReplPolicy policy, Rng *rng)
+    : policy_(policy), rng_(rng)
+{
+    uhm_assert(ways >= 1, "a set needs at least one way");
+    uhm_assert(policy != ReplPolicy::Random || rng,
+               "random policy needs an rng");
+    order_.resize(ways);
+    std::iota(order_.begin(), order_.end(), 0);
+}
+
+unsigned
+ReplacementSet::victim()
+{
+    if (policy_ == ReplPolicy::Random)
+        return static_cast<unsigned>(rng_->below(order_.size()));
+    return order_.front();
+}
+
+void
+ReplacementSet::touch(unsigned way)
+{
+    if (policy_ != ReplPolicy::LRU)
+        return; // FIFO and Random ignore hits.
+    auto it = std::find(order_.begin(), order_.end(), way);
+    uhm_assert(it != order_.end(), "unknown way %u", way);
+    order_.erase(it);
+    order_.push_back(way);
+}
+
+void
+ReplacementSet::fill(unsigned way)
+{
+    if (policy_ == ReplPolicy::Random)
+        return;
+    auto it = std::find(order_.begin(), order_.end(), way);
+    uhm_assert(it != order_.end(), "unknown way %u", way);
+    order_.erase(it);
+    order_.push_back(way);
+}
+
+} // namespace uhm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures.
+ *
+ * The paper's DTB keeps a "replacement array" that "keeps track of the
+ * ordering of each set by recency of use" (section 5.2) — i.e. per-set
+ * LRU. ReplacementSet implements that, plus FIFO and random policies for
+ * the ablation benches.
+ */
+
+#ifndef UHM_MEM_REPLACEMENT_HH
+#define UHM_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace uhm
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy : uint8_t
+{
+    LRU,
+    FIFO,
+    Random,
+};
+
+/** Printable policy name. */
+const char *replPolicyName(ReplPolicy policy);
+
+/** Recency/insertion bookkeeping for the ways of one set. */
+class ReplacementSet
+{
+  public:
+    /**
+     * @param ways number of ways in the set
+     * @param policy replacement policy
+     * @param rng generator for the Random policy (may be null otherwise)
+     */
+    ReplacementSet(unsigned ways, ReplPolicy policy, Rng *rng);
+
+    /** The way to evict next. */
+    unsigned victim();
+
+    /** Record a use of @p way (hit). */
+    void touch(unsigned way);
+
+    /** Record installation of fresh contents into @p way. */
+    void fill(unsigned way);
+
+  private:
+    /** order_[0] is the next victim; back is most recently used. */
+    std::vector<unsigned> order_;
+    ReplPolicy policy_;
+    Rng *rng_;
+};
+
+} // namespace uhm
+
+#endif // UHM_MEM_REPLACEMENT_HH

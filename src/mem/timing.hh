@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Memory-hierarchy timing parameters.
+ *
+ * Section 7 of the paper normalizes everything to the level-1 access
+ * time: tau1 = 1 (also one machine-instruction execution time), tauD = 2
+ * (DTB or cache access) and tau2 = 10 (level-2 access). These defaults
+ * reproduce the paper's operating point; benches sweep them.
+ */
+
+#ifndef UHM_MEM_TIMING_HH
+#define UHM_MEM_TIMING_HH
+
+#include <cstdint>
+
+namespace uhm
+{
+
+/** Access times in machine cycles (level-1 cycle = 1). */
+struct MemTiming
+{
+    /** Level-1 (fast, small) access time; the unit of time. */
+    uint64_t tau1 = 1;
+    /** Level-2 (large, slow) access time. */
+    uint64_t tau2 = 10;
+    /** DTB / cache array access time (nominally 2 * tau1). */
+    uint64_t tauD = 2;
+};
+
+} // namespace uhm
+
+#endif // UHM_MEM_TIMING_HH

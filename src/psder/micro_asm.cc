@@ -1,0 +1,166 @@
+#include "psder/micro_asm.hh"
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+MicroAsm &
+MicroAsm::emit(MicroOp op)
+{
+    ops_.push_back(op);
+    return *this;
+}
+
+MicroAsm &
+MicroAsm::movi(uint8_t dst, int64_t imm)
+{
+    return emit({MOp::MOVI, dst, 0, 0, imm});
+}
+
+MicroAsm &
+MicroAsm::mov(uint8_t dst, uint8_t src)
+{
+    return emit({MOp::MOV, dst, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::alu(MOp op, uint8_t dst, uint8_t a, uint8_t b)
+{
+    return emit({op, dst, a, b, 0});
+}
+
+MicroAsm &
+MicroAsm::addi(uint8_t dst, uint8_t a, int64_t imm)
+{
+    return emit({MOp::ADDI, dst, a, 0, imm});
+}
+
+MicroAsm &
+MicroAsm::neg(uint8_t dst, uint8_t a)
+{
+    return emit({MOp::NEG, dst, a, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::bnot(uint8_t dst, uint8_t a)
+{
+    return emit({MOp::NOT, dst, a, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::load(uint8_t dst, uint8_t base, int64_t offset)
+{
+    return emit({MOp::LOAD, dst, base, 0, offset});
+}
+
+MicroAsm &
+MicroAsm::store(uint8_t base, int64_t offset, uint8_t src)
+{
+    return emit({MOp::STORE, 0, base, src, offset});
+}
+
+MicroAsm &
+MicroAsm::spush(uint8_t src)
+{
+    return emit({MOp::SPUSH, 0, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::spop(uint8_t dst)
+{
+    return emit({MOp::SPOP, dst, 0, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::raspush(uint8_t src)
+{
+    return emit({MOp::RASPUSH, 0, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::raspop(uint8_t dst)
+{
+    return emit({MOp::RASPOP, dst, 0, 0, 0});
+}
+
+MicroAsm::Label
+MicroAsm::newLabel()
+{
+    labelPos_.push_back(SIZE_MAX);
+    return {labelPos_.size() - 1};
+}
+
+MicroAsm &
+MicroAsm::bind(Label label)
+{
+    uhm_assert(labelPos_[label.id] == SIZE_MAX, "label bound twice");
+    labelPos_[label.id] = ops_.size();
+    return *this;
+}
+
+MicroAsm &
+MicroAsm::br(Label label)
+{
+    fixups_.emplace_back(ops_.size(), label.id);
+    return emit({MOp::BR, 0, 0, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::brz(uint8_t src, Label label)
+{
+    fixups_.emplace_back(ops_.size(), label.id);
+    return emit({MOp::BRZ, 0, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::brnz(uint8_t src, Label label)
+{
+    fixups_.emplace_back(ops_.size(), label.id);
+    return emit({MOp::BRNZ, 0, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::brneg(uint8_t src, Label label)
+{
+    fixups_.emplace_back(ops_.size(), label.id);
+    return emit({MOp::BRNEG, 0, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::outp(uint8_t src)
+{
+    return emit({MOp::OUTP, 0, src, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::inp(uint8_t dst)
+{
+    return emit({MOp::INP, dst, 0, 0, 0});
+}
+
+MicroAsm &
+MicroAsm::done()
+{
+    return emit({MOp::DONE, 0, 0, 0, 0});
+}
+
+MicroRoutine
+MicroAsm::finish()
+{
+    for (auto [at, label] : fixups_) {
+        size_t target = labelPos_[label];
+        uhm_assert(target != SIZE_MAX, "unbound label in routine '%s'",
+                   name_.c_str());
+        ops_[at].imm = static_cast<int64_t>(target) -
+            (static_cast<int64_t>(at) + 1);
+    }
+    uhm_assert(!ops_.empty() && ops_.back().op == MOp::DONE,
+               "routine '%s' must end with DONE", name_.c_str());
+    MicroRoutine routine;
+    routine.name = std::move(name_);
+    routine.ops = std::move(ops_);
+    return routine;
+}
+
+} // namespace uhm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small assembler for long-format micro-routines.
+ *
+ * Provides a fluent builder with symbolic labels and relative-branch
+ * fixups so the semantic routines in routines.cc read like assembly
+ * listings rather than hand-computed offsets.
+ */
+
+#ifndef UHM_PSDER_MICRO_ASM_HH
+#define UHM_PSDER_MICRO_ASM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psder/micro_isa.hh"
+
+namespace uhm
+{
+
+/** Builder for one MicroRoutine. */
+class MicroAsm
+{
+  public:
+    /** An opaque label handle. */
+    struct Label
+    {
+        size_t id;
+    };
+
+    explicit MicroAsm(std::string name) : name_(std::move(name)) {}
+
+    // Register/immediate operations.
+    MicroAsm &movi(uint8_t dst, int64_t imm);
+    MicroAsm &mov(uint8_t dst, uint8_t src);
+    MicroAsm &alu(MOp op, uint8_t dst, uint8_t a, uint8_t b);
+    MicroAsm &addi(uint8_t dst, uint8_t a, int64_t imm);
+    MicroAsm &neg(uint8_t dst, uint8_t a);
+    MicroAsm &bnot(uint8_t dst, uint8_t a);
+
+    // Memory and stacks.
+    MicroAsm &load(uint8_t dst, uint8_t base, int64_t offset);
+    MicroAsm &store(uint8_t base, int64_t offset, uint8_t src);
+    MicroAsm &spush(uint8_t src);
+    MicroAsm &spop(uint8_t dst);
+    MicroAsm &raspush(uint8_t src);
+    MicroAsm &raspop(uint8_t dst);
+
+    // Control.
+    Label newLabel();
+    MicroAsm &bind(Label label);
+    MicroAsm &br(Label label);
+    MicroAsm &brz(uint8_t src, Label label);
+    MicroAsm &brnz(uint8_t src, Label label);
+    MicroAsm &brneg(uint8_t src, Label label);
+
+    // I/O and termination.
+    MicroAsm &outp(uint8_t src);
+    MicroAsm &inp(uint8_t dst);
+    MicroAsm &done();
+
+    /** Resolve labels and produce the routine. */
+    MicroRoutine finish();
+
+  private:
+    MicroAsm &emit(MicroOp op);
+
+    std::string name_;
+    std::vector<MicroOp> ops_;
+    /** Bound position of each label; SIZE_MAX if unbound. */
+    std::vector<size_t> labelPos_;
+    /** (instruction index, label id) fixups. */
+    std::vector<std::pair<size_t, size_t>> fixups_;
+};
+
+} // namespace uhm
+
+#endif // UHM_PSDER_MICRO_ASM_HH

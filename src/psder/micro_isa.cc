@@ -1,0 +1,60 @@
+#include "psder/micro_isa.hh"
+
+#include <sstream>
+
+namespace uhm
+{
+
+const char *
+microOpName(MOp op)
+{
+    switch (op) {
+      case MOp::MOVI:    return "MOVI";
+      case MOp::MOV:     return "MOV";
+      case MOp::ADD:     return "ADD";
+      case MOp::ADDI:    return "ADDI";
+      case MOp::SUB:     return "SUB";
+      case MOp::MUL:     return "MUL";
+      case MOp::DIV:     return "DIV";
+      case MOp::MOD:     return "MOD";
+      case MOp::NEG:     return "NEG";
+      case MOp::AND:     return "AND";
+      case MOp::OR:      return "OR";
+      case MOp::XOR:     return "XOR";
+      case MOp::NOT:     return "NOT";
+      case MOp::SHL:     return "SHL";
+      case MOp::SHR:     return "SHR";
+      case MOp::CMPEQ:   return "CMPEQ";
+      case MOp::CMPNE:   return "CMPNE";
+      case MOp::CMPLT:   return "CMPLT";
+      case MOp::CMPLE:   return "CMPLE";
+      case MOp::CMPGT:   return "CMPGT";
+      case MOp::CMPGE:   return "CMPGE";
+      case MOp::EXTRACT: return "EXTRACT";
+      case MOp::LOAD:    return "LOAD";
+      case MOp::STORE:   return "STORE";
+      case MOp::SPUSH:   return "SPUSH";
+      case MOp::SPOP:    return "SPOP";
+      case MOp::RASPUSH: return "RASPUSH";
+      case MOp::RASPOP:  return "RASPOP";
+      case MOp::BR:      return "BR";
+      case MOp::BRZ:     return "BRZ";
+      case MOp::BRNZ:    return "BRNZ";
+      case MOp::BRNEG:   return "BRNEG";
+      case MOp::OUTP:    return "OUTP";
+      case MOp::INP:     return "INP";
+      case MOp::DONE:    return "DONE";
+    }
+    return "?";
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << microOpName(op) << " d=r" << int(dst) << " a=r" << int(srcA)
+       << " b=r" << int(srcB) << " imm=" << imm;
+    return os.str();
+}
+
+} // namespace uhm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The long-format (micro) instruction set executed by IU1.
+ *
+ * Section 6.1 lists the properties a universal host needs: primitive
+ * operations from which arbitrary functions may be synthesized, powerful
+ * shift/mask/extract instructions, table look-up support, and memory
+ * viewable at fine resolution. This micro-ISA provides exactly that; the
+ * semantic routines of the DIR are written in it (see routines.cc), so
+ * the paper's parameter x — time spent in the semantic routines — is a
+ * measured quantity, not an assumption.
+ *
+ * Conventions:
+ *  - 16 general registers r0..r15; r14 is the frame-stack pointer (FSP)
+ *    preserved across routines, everything else is scratch.
+ *  - one micro-instruction costs one level-1 cycle (the paper's "one
+ *    machine instruction execution time" = tau1); LOAD/STORE additionally
+ *    charge the level of the data address; SPUSH/SPOP charge the operand
+ *    stack's level-1 home.
+ *  - branches are relative: the imm field is the signed distance from
+ *    the following instruction.
+ */
+
+#ifndef UHM_PSDER_MICRO_ISA_HH
+#define UHM_PSDER_MICRO_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhm
+{
+
+/** Register index of the frame-stack pointer. */
+constexpr uint8_t regFsp = 14;
+
+/** Number of general registers. */
+constexpr unsigned numMicroRegs = 16;
+
+/** Micro opcodes. */
+enum class MOp : uint8_t
+{
+    MOVI,    ///< dst <- imm
+    MOV,     ///< dst <- rA
+    ADD,     ///< dst <- rA + rB
+    ADDI,    ///< dst <- rA + imm
+    SUB,     ///< dst <- rA - rB
+    MUL,     ///< dst <- rA * rB
+    DIV,     ///< dst <- rA / rB (rB == 0 is a run-time fatal)
+    MOD,     ///< dst <- rA % rB (rB == 0 is a run-time fatal)
+    NEG,     ///< dst <- -rA
+    AND,     ///< dst <- rA & rB
+    OR,      ///< dst <- rA | rB
+    XOR,     ///< dst <- rA ^ rB
+    NOT,     ///< dst <- ~rA
+    SHL,     ///< dst <- rA << (rB & 63)
+    SHR,     ///< dst <- rA >> (rB & 63), arithmetic
+    CMPEQ,   ///< dst <- rA == rB
+    CMPNE,   ///< dst <- rA != rB
+    CMPLT,   ///< dst <- rA <  rB
+    CMPLE,   ///< dst <- rA <= rB
+    CMPGT,   ///< dst <- rA >  rB
+    CMPGE,   ///< dst <- rA >= rB
+    EXTRACT, ///< dst <- (rA >> (imm & 63)) & ((1 << (imm >> 6)) - 1)
+    LOAD,    ///< dst <- mem[rA + imm]
+    STORE,   ///< mem[rA + imm] <- rB
+    SPUSH,   ///< operand-stack push rA
+    SPOP,    ///< dst <- operand-stack pop
+    RASPUSH, ///< return-address-stack push rA
+    RASPOP,  ///< dst <- return-address-stack pop
+    BR,      ///< pc += imm
+    BRZ,     ///< if rA == 0: pc += imm
+    BRNZ,    ///< if rA != 0: pc += imm
+    BRNEG,   ///< if rA <  0: pc += imm
+    OUTP,    ///< append rA to the output stream
+    INP,     ///< dst <- next input value (0 when exhausted)
+    DONE,    ///< end of routine; return to IU2 / dispatch loop
+};
+
+/** One long-format micro-instruction. */
+struct MicroOp
+{
+    MOp op = MOp::DONE;
+    uint8_t dst = 0;
+    uint8_t srcA = 0;
+    uint8_t srcB = 0;
+    int64_t imm = 0;
+
+    /** Human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Mnemonic of @p op. */
+const char *microOpName(MOp op);
+
+/** A named sequence of micro-instructions (a semantic routine). */
+struct MicroRoutine
+{
+    std::string name;
+    std::vector<MicroOp> ops;
+
+    bool empty() const { return ops.empty(); }
+    /** Level-1 footprint in words (one word per micro-instruction). */
+    size_t sizeWords() const { return ops.size(); }
+};
+
+} // namespace uhm
+
+#endif // UHM_PSDER_MICRO_ISA_HH

@@ -1,0 +1,361 @@
+#include "psder/routines.hh"
+
+#include "psder/micro_asm.hh"
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+/**
+ * Binary and comparison opcodes: pop rhs, pop lhs, compute, push.
+ */
+MicroRoutine
+binaryRoutine(const char *name, MOp mop)
+{
+    MicroAsm a(name);
+    a.spop(2)                 // rhs
+     .spop(1)                 // lhs
+     .alu(mop, 3, 1, 2)
+     .spush(3)
+     .done();
+    return a.finish();
+}
+
+} // anonymous namespace
+
+RoutineLibrary::RoutineLibrary(const MachineLayout &layout)
+{
+    routines_.resize(numOps);
+    const int64_t disp = static_cast<int64_t>(layout.dispBase);
+
+    auto set = [&](Op op, MicroRoutine routine) {
+        routines_[static_cast<size_t>(op)] = std::move(routine);
+    };
+
+    // PUSHC: the immediate is already staged on the stack; nothing to do.
+    // NOP, JMP, HALT likewise have no semantic action (control is handled
+    // by the INTERP path / dispatch loop).
+
+    {
+        // PUSHL: staged (depth, slot); push the variable's value.
+        MicroAsm a("pushl");
+        a.spop(2)             // slot
+         .spop(1)             // depth
+         .load(3, 1, disp)    // r3 = D[depth]          (display, level 1)
+         .alu(MOp::ADD, 4, 3, 2)
+         .load(5, 4, 0)       // r5 = mem[D[depth]+slot] (data, level 2)
+         .spush(5)
+         .done();
+        set(Op::PUSHL, a.finish());
+    }
+    {
+        // STOREL: staged (depth, slot) above the value to store.
+        MicroAsm a("storel");
+        a.spop(2)             // slot
+         .spop(1)             // depth
+         .spop(3)             // value
+         .load(4, 1, disp)
+         .alu(MOp::ADD, 5, 4, 2)
+         .store(5, 0, 3)
+         .done();
+        set(Op::STOREL, a.finish());
+    }
+    {
+        // ADDR: staged (depth, slot); push the variable's address.
+        MicroAsm a("addr");
+        a.spop(2)
+         .spop(1)
+         .load(3, 1, disp)
+         .alu(MOp::ADD, 4, 3, 2)
+         .spush(4)
+         .done();
+        set(Op::ADDR, a.finish());
+    }
+    {
+        // LOADI: pop address, push mem[address].
+        MicroAsm a("loadi");
+        a.spop(1)
+         .load(2, 1, 0)
+         .spush(2)
+         .done();
+        set(Op::LOADI, a.finish());
+    }
+    {
+        // STOREI: pop address, pop value, store.
+        MicroAsm a("storei");
+        a.spop(1)             // address
+         .spop(2)             // value
+         .store(1, 0, 2)
+         .done();
+        set(Op::STOREI, a.finish());
+    }
+    {
+        MicroAsm a("dup");
+        a.spop(1).spush(1).spush(1).done();
+        set(Op::DUP, a.finish());
+    }
+    {
+        MicroAsm a("drop");
+        a.spop(1).done();
+        set(Op::DROP, a.finish());
+    }
+    {
+        MicroAsm a("swap");
+        a.spop(1).spop(2).spush(1).spush(2).done();
+        set(Op::SWAP, a.finish());
+    }
+
+    set(Op::ADD, binaryRoutine("add", MOp::ADD));
+    set(Op::SUB, binaryRoutine("sub", MOp::SUB));
+    set(Op::MUL, binaryRoutine("mul", MOp::MUL));
+    set(Op::DIV, binaryRoutine("div", MOp::DIV));
+    set(Op::MOD, binaryRoutine("mod", MOp::MOD));
+    set(Op::AND, binaryRoutine("and", MOp::AND));
+    set(Op::OR,  binaryRoutine("or", MOp::OR));
+    set(Op::XOR, binaryRoutine("xor", MOp::XOR));
+    set(Op::SHL, binaryRoutine("shl", MOp::SHL));
+    set(Op::SHR, binaryRoutine("shr", MOp::SHR));
+    set(Op::EQ,  binaryRoutine("eq", MOp::CMPEQ));
+    set(Op::NE,  binaryRoutine("ne", MOp::CMPNE));
+    set(Op::LT,  binaryRoutine("lt", MOp::CMPLT));
+    set(Op::LE,  binaryRoutine("le", MOp::CMPLE));
+    set(Op::GT,  binaryRoutine("gt", MOp::CMPGT));
+    set(Op::GE,  binaryRoutine("ge", MOp::CMPGE));
+
+    {
+        MicroAsm a("neg");
+        a.spop(1).neg(2, 1).spush(2).done();
+        set(Op::NEG, a.finish());
+    }
+    {
+        MicroAsm a("not");
+        a.spop(1).bnot(2, 1).spush(2).done();
+        set(Op::NOT, a.finish());
+    }
+
+    {
+        // JZ: staged (target, fallthru) above the condition. Pushes the
+        // chosen successor's DIR bit-address for INTERP-stack.
+        MicroAsm a("jz");
+        auto take = a.newLabel();
+        auto end = a.newLabel();
+        a.spop(2)             // fallthru
+         .spop(1)             // target
+         .spop(3)             // condition
+         .brz(3, take)
+         .spush(2)
+         .br(end)
+         .bind(take)
+         .spush(1)
+         .bind(end)
+         .done();
+        set(Op::JZ, a.finish());
+    }
+    {
+        MicroAsm a("jnz");
+        auto take = a.newLabel();
+        auto end = a.newLabel();
+        a.spop(2)
+         .spop(1)
+         .spop(3)
+         .brnz(3, take)
+         .spush(2)
+         .br(end)
+         .bind(take)
+         .spush(1)
+         .bind(end)
+         .done();
+        set(Op::JNZ, a.finish());
+    }
+    {
+        // CALLP: staged (entry, return) above the arguments. Saves the
+        // return address on the RAS and leaves the entry address on the
+        // stack for INTERP-stack; the arguments stay put for ENTER.
+        MicroAsm a("callp");
+        a.spop(1)             // return bit-address
+         .raspush(1)
+         .done();
+        set(Op::CALLP, a.finish());
+    }
+    {
+        // ENTER: staged (depth, nlocals, nparams).
+        //   frame save:  mem[FSP] = D[depth]; D[depth] = FSP + 1;
+        //                FSP += nlocals + 1
+        //   parameters:  pop nparams values into slots nparams-1 .. 0
+        MicroAsm a("enter");
+        auto loop = a.newLabel();
+        auto end = a.newLabel();
+        a.spop(3)                       // nparams
+         .spop(2)                       // nlocals
+         .spop(1)                       // depth
+         .load(4, 1, disp)              // r4 = old D[depth]
+         .store(regFsp, 0, 4)           // mem[FSP] = old D[depth]
+         .addi(5, regFsp, 1)            // r5 = frame base
+         .store(1, disp, 5)             // D[depth] = frame base
+         .alu(MOp::ADD, regFsp, regFsp, 2)
+         .addi(regFsp, regFsp, 1)       // FSP += nlocals + 1
+         .bind(loop)
+         .brz(3, end)
+         .addi(3, 3, -1)                // next parameter slot
+         .spop(6)
+         .alu(MOp::ADD, 7, 5, 3)
+         .store(7, 0, 6)                // frame[slot] = argument
+         .br(loop)
+         .bind(end)
+         .done();
+        set(Op::ENTER, a.finish());
+    }
+    {
+        // RET: staged (depth, nlocals) above an optional return value.
+        //   FSP -= nlocals + 1; D[depth] = mem[FSP];
+        //   push RAS-popped return address for INTERP-stack
+        MicroAsm a("ret");
+        a.spop(2)                       // nlocals
+         .spop(1)                       // depth
+         .alu(MOp::SUB, regFsp, regFsp, 2)
+         .addi(regFsp, regFsp, -1)
+         .load(3, regFsp, 0)            // saved D[depth]
+         .store(1, disp, 3)
+         .raspop(4)
+         .spush(4)
+         .done();
+        set(Op::RET, a.finish());
+    }
+    {
+        MicroAsm a("read");
+        a.inp(1).spush(1).done();
+        set(Op::READ, a.finish());
+    }
+    {
+        MicroAsm a("write");
+        a.spop(1).outp(1).done();
+        set(Op::WRITE, a.finish());
+    }
+    {
+        // SETL: staged (depth, slot, imm): var := imm.
+        MicroAsm a("setl");
+        a.spop(3)             // imm
+         .spop(2)             // slot
+         .spop(1)             // depth
+         .load(4, 1, disp)
+         .alu(MOp::ADD, 5, 4, 2)
+         .store(5, 0, 3)
+         .done();
+        set(Op::SETL, a.finish());
+    }
+    {
+        // INCL: staged (depth, slot, imm): var := var + imm.
+        MicroAsm a("incl");
+        a.spop(3)
+         .spop(2)
+         .spop(1)
+         .load(4, 1, disp)
+         .alu(MOp::ADD, 5, 4, 2)
+         .load(6, 5, 0)
+         .alu(MOp::ADD, 6, 6, 3)
+         .store(5, 0, 6)
+         .done();
+        set(Op::INCL, a.finish());
+    }
+    {
+        // WRITEL: staged (depth, slot): write var.
+        MicroAsm a("writel");
+        a.spop(2)
+         .spop(1)
+         .load(3, 1, disp)
+         .alu(MOp::ADD, 4, 3, 2)
+         .load(5, 4, 0)
+         .outp(5)
+         .done();
+        set(Op::WRITEL, a.finish());
+    }
+    {
+        // PUSHL2: staged (d1, s1, d2, s2): push var1 then var2.
+        MicroAsm a("pushl2");
+        a.spop(4)             // s2
+         .spop(3)             // d2
+         .spop(2)             // s1
+         .spop(1)             // d1
+         .load(5, 1, disp)
+         .alu(MOp::ADD, 6, 5, 2)
+         .load(7, 6, 0)       // var1
+         .load(5, 3, disp)
+         .alu(MOp::ADD, 6, 5, 4)
+         .load(8, 6, 0)       // var2
+         .spush(7)
+         .spush(8)
+         .done();
+        set(Op::PUSHL2, a.finish());
+    }
+    {
+        // BRZL: staged (depth, slot, target, fallthru): branch on var.
+        MicroAsm a("brzl");
+        auto take = a.newLabel();
+        auto end = a.newLabel();
+        a.spop(4)             // fallthru
+         .spop(3)             // target
+         .spop(2)             // slot
+         .spop(1)             // depth
+         .load(5, 1, disp)
+         .alu(MOp::ADD, 6, 5, 2)
+         .load(7, 6, 0)       // var
+         .brz(7, take)
+         .spush(4)
+         .br(end)
+         .bind(take)
+         .spush(3)
+         .bind(end)
+         .done();
+        set(Op::BRZL, a.finish());
+    }
+    {
+        MicroAsm a("brnzl");
+        auto take = a.newLabel();
+        auto end = a.newLabel();
+        a.spop(4)
+         .spop(3)
+         .spop(2)
+         .spop(1)
+         .load(5, 1, disp)
+         .alu(MOp::ADD, 6, 5, 2)
+         .load(7, 6, 0)
+         .brnz(7, take)
+         .spush(4)
+         .br(end)
+         .bind(take)
+         .spush(3)
+         .bind(end)
+         .done();
+        set(Op::BRNZL, a.finish());
+    }
+    {
+        // SEMWORK: staged (count); spin for 'count' iterations. This is
+        // the tunable-x knob of the synthetic workloads.
+        MicroAsm a("semwork");
+        auto loop = a.newLabel();
+        auto end = a.newLabel();
+        a.spop(1)
+         .bind(loop)
+         .brz(1, end)
+         .brneg(1, end)
+         .addi(1, 1, -1)
+         .br(loop)
+         .bind(end)
+         .done();
+        set(Op::SEMWORK, a.finish());
+    }
+}
+
+size_t
+RoutineLibrary::totalSizeWords() const
+{
+    size_t words = 0;
+    for (const MicroRoutine &routine : routines_)
+        words += routine.sizeWords();
+    return words;
+}
+
+} // namespace uhm

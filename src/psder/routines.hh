@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The semantic-routine library.
+ *
+ * One long-format micro-routine per DIR opcode, expressing the opcode's
+ * semantics over the machine state (operand stack, display, frame stack,
+ * data memory). Both the conventional interpreter and the DTB machine's
+ * PSDER translations call these same routines, so program outputs are
+ * bit-identical across machine configurations by construction and x (the
+ * time spent performing DIR semantics) is identical across them — the
+ * paper lumps x into all three of T1, T2 and T3 for exactly this reason.
+ *
+ * Calling convention: an opcode's statically known fields (depth, slot,
+ * immediate, target bit-addresses, ...) are pushed onto the operand stack
+ * before the routine runs — by IU2 PUSH-immediate short instructions in
+ * the DTB machine, or by the interpreter loop in the conventional one
+ * (see staging.hh). The routine pops them in reverse order, below which
+ * it finds its dynamic operands.
+ */
+
+#ifndef UHM_PSDER_ROUTINES_HH
+#define UHM_PSDER_ROUTINES_HH
+
+#include <vector>
+
+#include "dir/isa.hh"
+#include "psder/layout.hh"
+#include "psder/micro_isa.hh"
+
+namespace uhm
+{
+
+/** The library: routines indexed by DIR opcode. */
+class RoutineLibrary
+{
+  public:
+    /** Build all routines against @p layout. */
+    explicit RoutineLibrary(const MachineLayout &layout);
+
+    /** The routine for @p op (may be empty: no semantic action). */
+    const MicroRoutine &
+    routine(Op op) const
+    {
+        return routines_[static_cast<size_t>(op)];
+    }
+
+    /** Routine id used in CALL short instructions. */
+    static int64_t
+    routineId(Op op)
+    {
+        return static_cast<int64_t>(op);
+    }
+
+    /** The routine with id @p id. */
+    const MicroRoutine &
+    byId(int64_t id) const
+    {
+        return routines_.at(static_cast<size_t>(id));
+    }
+
+    /** True if @p op has a non-empty semantic routine. */
+    bool
+    hasRoutine(Op op) const
+    {
+        return !routine(op).empty();
+    }
+
+    /**
+     * Total level-1 footprint of the library in words — part of the
+     * "interpreter + semantic routines must fit into the faster level"
+     * budget of section 3.3 / Figure 1.
+     */
+    size_t totalSizeWords() const;
+
+  private:
+    std::vector<MicroRoutine> routines_;
+};
+
+} // namespace uhm
+
+#endif // UHM_PSDER_ROUTINES_HH

@@ -1,0 +1,34 @@
+#include "psder/short_isa.hh"
+
+#include <sstream>
+
+namespace uhm
+{
+
+const char *
+shortOpName(SOp op)
+{
+    switch (op) {
+      case SOp::PUSH:   return "PUSH";
+      case SOp::POP:    return "POP";
+      case SOp::CALL:   return "CALL";
+      case SOp::INTERP: return "INTERP";
+    }
+    return "?";
+}
+
+std::string
+ShortInstr::toString() const
+{
+    std::ostringstream os;
+    os << shortOpName(op);
+    switch (mode) {
+      case SMode::Imm:      os << " #" << operand; break;
+      case SMode::Direct:   os << " @" << operand; break;
+      case SMode::Indirect: os << " @@" << operand; break;
+      case SMode::Stack:    os << " (stack)"; break;
+    }
+    return os.str();
+}
+
+} // namespace uhm

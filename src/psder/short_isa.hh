@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The short-format instruction set (IU2).
+ *
+ * Section 6.2: "the instruction set recognized by IU2 includes CALL,
+ * PUSH and POP instructions ... The most important short format
+ * instruction is the INTERP instruction which exercises the DTB." Short
+ * instructions are what the dynamic translator emits into the DTB buffer
+ * array; they steer control to the semantic routines and pass
+ * parameters. "The limited capacity of the DTB constrains the dynamic
+ * version of a DIR instruction to be as short as possible. Accordingly,
+ * the instruction set for IU2 must be of a short, vertical format."
+ */
+
+#ifndef UHM_PSDER_SHORT_ISA_HH
+#define UHM_PSDER_SHORT_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uhm
+{
+
+/** Short-format opcodes (two bits in a real implementation). */
+enum class SOp : uint8_t
+{
+    PUSH,   ///< push onto the operand stack
+    POP,    ///< pop from the operand stack into memory
+    CALL,   ///< call a semantic routine (long-format code) via IU1
+    INTERP, ///< present a DIR address to the DTB and transfer control
+};
+
+/**
+ * Operand addressing flavors. "The short format instructions come in
+ * different flavors to permit the operand specification to be immediate,
+ * direct or indirect." INTERP additionally has the Stack flavor: "the
+ * result may be left on the operand stack for use by the INTERP
+ * instruction."
+ */
+enum class SMode : uint8_t
+{
+    Imm,      ///< operand is the value itself
+    Direct,   ///< operand is a memory address; use mem[addr]
+    Indirect, ///< operand is a memory address; use mem[mem[addr]]
+    Stack,    ///< operand is popped from the operand stack (INTERP)
+};
+
+/** One short-format instruction. */
+struct ShortInstr
+{
+    SOp op = SOp::INTERP;
+    SMode mode = SMode::Imm;
+    int64_t operand = 0;
+
+    bool operator==(const ShortInstr &other) const = default;
+
+    /** Human-readable rendering, e.g. "PUSH #5". */
+    std::string toString() const;
+};
+
+/**
+ * Nominal size of one short instruction in the buffer array, in bits.
+ * Used for capacity accounting (the paper's S1 = 3 S2 sizing argument).
+ */
+constexpr unsigned shortInstrBits = 16;
+
+/** Mnemonic of @p op. */
+const char *shortOpName(SOp op);
+
+} // namespace uhm
+
+#endif // UHM_PSDER_SHORT_ISA_HH

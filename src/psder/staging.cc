@@ -1,0 +1,148 @@
+#include "psder/staging.hh"
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+Staging
+stageInstruction(const DirInstruction &instr, const EncodedDir &image,
+                 size_t index)
+{
+    Staging st;
+    st.routine = RoutineLibrary::routineId(instr.op);
+
+    // Sequential successor (valid whenever the opcode falls through).
+    auto fallthru = [&]() -> uint64_t {
+        uhm_assert(index + 1 < image.numInstrs(),
+                   "instruction %zu falls off the end", index);
+        return image.bitAddrOf(index + 1);
+    };
+    auto target_addr = [&](int64_t target_index) -> uint64_t {
+        return image.bitAddrOf(static_cast<size_t>(target_index));
+    };
+
+    switch (instr.op) {
+      case Op::PUSHC:
+        // The literal itself is staged; no semantic routine.
+        st.pushes = {instr.operands[0]};
+        st.routine = -1;
+        st.nextImm = fallthru();
+        return st;
+
+      case Op::PUSHL:
+      case Op::STOREL:
+      case Op::ADDR:
+        st.pushes = {instr.operands[0], instr.operands[1]};
+        st.nextImm = fallthru();
+        return st;
+
+      case Op::ENTER:
+      case Op::SETL:
+      case Op::INCL:
+        st.pushes = {instr.operands[0], instr.operands[1],
+                     instr.operands[2]};
+        st.nextImm = fallthru();
+        return st;
+
+      case Op::WRITEL:
+        st.pushes = {instr.operands[0], instr.operands[1]};
+        st.nextImm = fallthru();
+        return st;
+
+      case Op::PUSHL2:
+        st.pushes = {instr.operands[0], instr.operands[1],
+                     instr.operands[2], instr.operands[3]};
+        st.nextImm = fallthru();
+        return st;
+
+      case Op::BRZL:
+      case Op::BRNZL:
+        st.pushes = {
+            instr.operands[0], instr.operands[1],
+            static_cast<int64_t>(target_addr(instr.operands[2])),
+            static_cast<int64_t>(fallthru()),
+        };
+        st.next = NextKind::Stack;
+        return st;
+
+      case Op::SEMWORK:
+        st.pushes = {instr.operands[0]};
+        st.nextImm = fallthru();
+        return st;
+
+      case Op::JMP:
+        st.routine = -1;
+        st.nextImm = target_addr(instr.operands[0]);
+        return st;
+
+      case Op::JZ:
+      case Op::JNZ:
+        st.pushes = {
+            static_cast<int64_t>(target_addr(instr.operands[0])),
+            static_cast<int64_t>(fallthru()),
+        };
+        st.next = NextKind::Stack;
+        return st;
+
+      case Op::CALLP: {
+        const Contour &callee =
+            image.program().procContour(
+                static_cast<size_t>(instr.operands[0]));
+        st.pushes = {
+            static_cast<int64_t>(image.bitAddrOf(callee.entry)),
+            static_cast<int64_t>(fallthru()),
+        };
+        st.next = NextKind::Stack;
+        return st;
+      }
+
+      case Op::RET:
+        st.pushes = {instr.operands[0], instr.operands[1]};
+        st.next = NextKind::Stack;
+        return st;
+
+      case Op::HALT:
+        st.routine = -1;
+        st.next = NextKind::Halt;
+        return st;
+
+      case Op::NOP:
+        st.routine = -1;
+        st.nextImm = fallthru();
+        return st;
+
+      default:
+        // All remaining opcodes: pure semantic routine, sequential
+        // successor, no staged values.
+        st.nextImm = fallthru();
+        return st;
+    }
+}
+
+std::vector<ShortInstr>
+lowerStaging(const Staging &staging)
+{
+    std::vector<ShortInstr> seq;
+    seq.reserve(staging.pushes.size() + 2);
+    for (int64_t v : staging.pushes)
+        seq.push_back({SOp::PUSH, SMode::Imm, v});
+    if (staging.routine >= 0)
+        seq.push_back({SOp::CALL, SMode::Imm, staging.routine});
+    switch (staging.next) {
+      case NextKind::Imm:
+        seq.push_back({SOp::INTERP, SMode::Imm,
+                       static_cast<int64_t>(staging.nextImm)});
+        break;
+      case NextKind::Stack:
+        seq.push_back({SOp::INTERP, SMode::Stack, 0});
+        break;
+      case NextKind::Halt:
+        seq.push_back({SOp::INTERP, SMode::Imm,
+                       static_cast<int64_t>(haltBitAddr)});
+        break;
+    }
+    return seq;
+}
+
+} // namespace uhm

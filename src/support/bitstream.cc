@@ -1,0 +1,85 @@
+#include "support/bitstream.hh"
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+void
+BitWriter::write(uint64_t value, unsigned width)
+{
+    uhm_assert(width <= 64, "field width %u out of range", width);
+    if (width < 64)
+        uhm_assert((value >> width) == 0,
+                   "value does not fit in %u bits", width);
+
+    for (unsigned i = width; i-- > 0;) {
+        size_t byte = bitSize_ >> 3;
+        unsigned bit = 7 - (bitSize_ & 7);
+        if (byte >= bytes_.size())
+            bytes_.push_back(0);
+        if ((value >> i) & 1)
+            bytes_[byte] |= static_cast<uint8_t>(1u << bit);
+        ++bitSize_;
+    }
+}
+
+uint64_t
+BitReader::read(unsigned width)
+{
+    uhm_assert(width <= 64, "field width %u out of range", width);
+    uhm_assert(pos_ + width <= bitSize_,
+               "bit read past end (pos %zu width %u size %zu)",
+               pos_, width, bitSize_);
+
+    uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        size_t byte = pos_ >> 3;
+        unsigned bit = 7 - (pos_ & 7);
+        v = (v << 1) | ((data_[byte] >> bit) & 1);
+        ++pos_;
+    }
+    if (width > 0)
+        ++extractSteps_;
+    return v;
+}
+
+uint64_t
+BitReader::peek(unsigned width) const
+{
+    uhm_assert(width <= 64, "field width %u out of range", width);
+    uint64_t v = 0;
+    size_t p = pos_;
+    for (unsigned i = 0; i < width; ++i) {
+        if (p < bitSize_) {
+            size_t byte = p >> 3;
+            unsigned bit = 7 - (p & 7);
+            v = (v << 1) | ((data_[byte] >> bit) & 1);
+        } else {
+            v <<= 1;
+        }
+        ++p;
+    }
+    return v;
+}
+
+void
+BitReader::seek(size_t bit_pos)
+{
+    uhm_assert(bit_pos <= bitSize_, "seek past end (%zu > %zu)",
+               bit_pos, bitSize_);
+    pos_ = bit_pos;
+}
+
+unsigned
+bitsFor(uint64_t v)
+{
+    unsigned n = 1;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace uhm

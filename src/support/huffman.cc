@@ -1,0 +1,338 @@
+#include "support/huffman.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace uhm
+{
+
+namespace
+{
+
+/**
+ * Plain Huffman code lengths via the classic two-queue construction.
+ * Frequencies of zero are bumped to one so every symbol is codeable.
+ */
+std::vector<unsigned>
+huffmanLengths(const std::vector<uint64_t> &freqs)
+{
+    size_t n = freqs.size();
+    if (n == 1)
+        return {1};
+
+    struct HeapItem
+    {
+        uint64_t weight;
+        size_t node;
+        bool operator>(const HeapItem &o) const
+        {
+            // Tie-break on node index for determinism.
+            return weight != o.weight ? weight > o.weight : node > o.node;
+        }
+    };
+
+    // Nodes 0..n-1 are leaves; parents are appended after.
+    std::vector<int> parent(n, -1);
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>> heap;
+    for (size_t i = 0; i < n; ++i)
+        heap.push({std::max<uint64_t>(freqs[i], 1), i});
+
+    while (heap.size() > 1) {
+        HeapItem a = heap.top(); heap.pop();
+        HeapItem b = heap.top(); heap.pop();
+        size_t p = parent.size();
+        parent.push_back(-1);
+        parent[a.node] = static_cast<int>(p);
+        parent[b.node] = static_cast<int>(p);
+        heap.push({a.weight + b.weight, p});
+    }
+
+    std::vector<unsigned> lengths(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        unsigned len = 0;
+        for (int v = parent[i]; v != -1; v = parent[v])
+            ++len;
+        lengths[i] = len;
+    }
+    return lengths;
+}
+
+/**
+ * Length-limited code lengths via the package-merge algorithm
+ * (Larmore & Hirschberg). Produces optimal lengths subject to
+ * lengths[i] <= max_len.
+ */
+std::vector<unsigned>
+packageMergeLengths(const std::vector<uint64_t> &freqs, unsigned max_len)
+{
+    size_t n = freqs.size();
+    uhm_assert(n >= 1, "empty alphabet");
+    uhm_assert((1ull << max_len) >= n,
+               "max_len %u cannot code %zu symbols", max_len, n);
+    if (n == 1)
+        return {1};
+
+    struct Item
+    {
+        uint64_t weight;
+        /** Leaf symbols covered by this package (by index). */
+        std::vector<uint32_t> leaves;
+    };
+
+    // Leaves sorted by weight, stable on symbol index.
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         uint64_t fa = std::max<uint64_t>(freqs[a], 1);
+                         uint64_t fb = std::max<uint64_t>(freqs[b], 1);
+                         return fa != fb ? fa < fb : a < b;
+                     });
+
+    std::vector<Item> prev;
+    std::vector<unsigned> lengths(n, 0);
+
+    for (unsigned level = 0; level < max_len; ++level) {
+        // Package pairs from the previous level.
+        std::vector<Item> packages;
+        for (size_t i = 0; i + 1 < prev.size(); i += 2) {
+            Item pkg;
+            pkg.weight = prev[i].weight + prev[i + 1].weight;
+            pkg.leaves = prev[i].leaves;
+            pkg.leaves.insert(pkg.leaves.end(), prev[i + 1].leaves.begin(),
+                              prev[i + 1].leaves.end());
+            packages.push_back(std::move(pkg));
+        }
+        // Merge with the fresh leaf list.
+        std::vector<Item> merged;
+        size_t pi = 0, li = 0;
+        while (pi < packages.size() || li < n) {
+            uint64_t lw = li < n ?
+                std::max<uint64_t>(freqs[order[li]], 1) : UINT64_MAX;
+            if (pi < packages.size() && packages[pi].weight <= lw) {
+                merged.push_back(std::move(packages[pi++]));
+            } else {
+                merged.push_back({lw, {order[li]}});
+                ++li;
+            }
+        }
+        prev = std::move(merged);
+    }
+
+    // Take the cheapest 2n-2 items; each appearance of a leaf adds one
+    // bit to its codeword length.
+    size_t take = 2 * n - 2;
+    uhm_assert(prev.size() >= take, "package-merge underflow");
+    for (size_t i = 0; i < take; ++i)
+        for (uint32_t leaf : prev[i].leaves)
+            ++lengths[leaf];
+    return lengths;
+}
+
+/** Kraft sum scaled by 2^scale_len to stay in integers. */
+uint64_t
+kraftScaled(const std::vector<unsigned> &lengths, unsigned scale_len)
+{
+    uint64_t sum = 0;
+    for (unsigned len : lengths) {
+        uhm_assert(len >= 1 && len <= scale_len, "bad length %u", len);
+        sum += 1ull << (scale_len - len);
+    }
+    return sum;
+}
+
+} // anonymous namespace
+
+HuffmanCode
+HuffmanCode::fromLengths(std::vector<unsigned> lengths)
+{
+    HuffmanCode hc;
+    hc.lengths_ = std::move(lengths);
+    size_t n = hc.lengths_.size();
+    hc.codes_.assign(n, 0);
+
+    // Canonical assignment: shorter codes first, symbol order within a
+    // length.
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return hc.lengths_[a] != hc.lengths_[b] ?
+                             hc.lengths_[a] < hc.lengths_[b] : a < b;
+                     });
+
+    uint64_t code = 0;
+    unsigned prev_len = hc.lengths_[order[0]];
+    for (size_t i = 0; i < n; ++i) {
+        unsigned len = hc.lengths_[order[i]];
+        code <<= (len - prev_len);
+        hc.codes_[order[i]] = code;
+        ++code;
+        prev_len = len;
+    }
+
+    hc.buildTree();
+    return hc;
+}
+
+void
+HuffmanCode::buildTree()
+{
+    tree_.clear();
+    tree_.push_back(Node{});
+    for (size_t sym = 0; sym < lengths_.size(); ++sym) {
+        unsigned len = lengths_[sym];
+        uint64_t code = codes_[sym];
+        int node = 0;
+        for (unsigned i = len; i-- > 0;) {
+            int bit = static_cast<int>((code >> i) & 1);
+            if (tree_[node].child[bit] == -1) {
+                tree_[node].child[bit] = static_cast<int>(tree_.size());
+                tree_.push_back(Node{});
+            }
+            node = tree_[node].child[bit];
+            uhm_assert(tree_[node].symbol == -1,
+                       "prefix violation at symbol %zu", sym);
+        }
+        uhm_assert(tree_[node].child[0] == -1 && tree_[node].child[1] == -1,
+                   "prefix violation at symbol %zu", sym);
+        tree_[node].symbol = static_cast<int64_t>(sym);
+    }
+}
+
+HuffmanCode
+HuffmanCode::build(const std::vector<uint64_t> &freqs, unsigned max_len)
+{
+    uhm_assert(!freqs.empty(), "empty alphabet");
+    std::vector<unsigned> lengths = max_len == 0 ?
+        huffmanLengths(freqs) : packageMergeLengths(freqs, max_len);
+    return fromLengths(std::move(lengths));
+}
+
+HuffmanCode
+HuffmanCode::buildQuantized(const std::vector<uint64_t> &freqs,
+                            const std::vector<unsigned> &allowed_lens)
+{
+    uhm_assert(!allowed_lens.empty(), "no allowed lengths");
+    std::vector<unsigned> allowed = allowed_lens;
+    std::sort(allowed.begin(), allowed.end());
+    unsigned max_len = allowed.back();
+    uhm_assert((1ull << max_len) >= freqs.size(),
+               "allowed lengths cannot code %zu symbols", freqs.size());
+
+    // Start from optimal length-limited lengths, then round each length
+    // *up* to the nearest allowed value. Rounding up only shrinks the
+    // Kraft sum, so the result stays prefix-feasible.
+    std::vector<unsigned> lengths = packageMergeLengths(freqs, max_len);
+    for (unsigned &len : lengths) {
+        auto it = std::lower_bound(allowed.begin(), allowed.end(), len);
+        uhm_assert(it != allowed.end(), "length %u unroundable", len);
+        len = *it;
+    }
+
+    // Greedily shorten the most frequent symbols to the next smaller
+    // allowed length while the Kraft inequality still holds.
+    std::vector<uint32_t> by_freq(freqs.size());
+    std::iota(by_freq.begin(), by_freq.end(), 0);
+    std::stable_sort(by_freq.begin(), by_freq.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return freqs[a] != freqs[b] ?
+                             freqs[a] > freqs[b] : a < b;
+                     });
+    uint64_t budget = 1ull << max_len;
+    uint64_t kraft = kraftScaled(lengths, max_len);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t sym : by_freq) {
+            auto it = std::lower_bound(allowed.begin(), allowed.end(),
+                                       lengths[sym]);
+            if (it == allowed.begin())
+                continue;
+            unsigned shorter = *std::prev(it);
+            uint64_t delta = (1ull << (max_len - shorter)) -
+                             (1ull << (max_len - lengths[sym]));
+            if (kraft + delta <= budget) {
+                kraft += delta;
+                lengths[sym] = shorter;
+                changed = true;
+            }
+        }
+    }
+
+    return fromLengths(std::move(lengths));
+}
+
+void
+HuffmanCode::encode(BitWriter &bw, uint64_t symbol) const
+{
+    uhm_assert(symbol < lengths_.size(), "symbol %llu out of alphabet",
+               static_cast<unsigned long long>(symbol));
+    bw.write(codes_[symbol], lengths_[symbol]);
+}
+
+uint64_t
+HuffmanCode::decode(BitReader &br, uint64_t *tree_steps) const
+{
+    int node = 0;
+    while (tree_[node].symbol == -1) {
+        int bit = br.readBit() ? 1 : 0;
+        node = tree_[node].child[bit];
+        uhm_assert(node != -1, "decode fell off the tree");
+        if (tree_steps)
+            ++*tree_steps;
+    }
+    return static_cast<uint64_t>(tree_[node].symbol);
+}
+
+unsigned
+HuffmanCode::lengthOf(uint64_t symbol) const
+{
+    uhm_assert(symbol < lengths_.size(), "symbol %llu out of alphabet",
+               static_cast<unsigned long long>(symbol));
+    return lengths_[symbol];
+}
+
+double
+HuffmanCode::expectedLength(const std::vector<uint64_t> &freqs) const
+{
+    uhm_assert(freqs.size() == lengths_.size(), "alphabet mismatch");
+    uint64_t total = 0, bits = 0;
+    for (size_t i = 0; i < freqs.size(); ++i) {
+        total += freqs[i];
+        bits += freqs[i] * lengths_[i];
+    }
+    return total == 0 ? 0.0 :
+        static_cast<double>(bits) / static_cast<double>(total);
+}
+
+size_t
+HuffmanCode::decodeTreeNodes() const
+{
+    return tree_.size();
+}
+
+double
+entropyBits(const std::vector<uint64_t> &freqs)
+{
+    uint64_t total = 0;
+    for (uint64_t f : freqs)
+        total += f;
+    if (total == 0)
+        return 0.0;
+    double h = 0.0;
+    for (uint64_t f : freqs) {
+        if (f == 0)
+            continue;
+        double p = static_cast<double>(f) / static_cast<double>(total);
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+} // namespace uhm

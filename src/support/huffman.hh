@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimum-redundancy (Huffman) coding of DIR fields.
+ *
+ * Section 3.2 of the paper describes frequency-based encodings of
+ * operators and operands (citing Huffman 1952, Wilner's B1700 and
+ * Hehner), including the practical refinement of restricting codeword
+ * lengths "to a small number of selected lengths" to simplify decoding.
+ * This module provides:
+ *
+ *  - optimal unrestricted Huffman codes,
+ *  - optimal length-limited codes (package-merge), and
+ *  - quantized codes whose lengths are drawn from a small allowed set
+ *    (the B1700-style compromise).
+ *
+ * Decoding walks an explicit binary tree and reports the number of edges
+ * traversed, which the host-machine simulator charges as decode work.
+ */
+
+#ifndef UHM_SUPPORT_HUFFMAN_HH
+#define UHM_SUPPORT_HUFFMAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitstream.hh"
+
+namespace uhm
+{
+
+/**
+ * A canonical prefix code over the symbol alphabet [0, n).
+ *
+ * Symbols with zero recorded frequency still receive a codeword (the
+ * encoder must be total: a dynamic run may execute instructions that were
+ * rare in the static image used to gather statistics).
+ */
+class HuffmanCode
+{
+  public:
+    HuffmanCode() = default;
+
+    /**
+     * Build an optimal prefix code from frequencies.
+     * @param freqs frequency of each symbol; size defines the alphabet
+     * @param max_len 0 for unrestricted, otherwise the maximum codeword
+     *                length (package-merge; must satisfy
+     *                2^max_len >= alphabet size)
+     */
+    static HuffmanCode build(const std::vector<uint64_t> &freqs,
+                             unsigned max_len = 0);
+
+    /**
+     * Build a code whose codeword lengths all belong to @p allowed_lens
+     * (sorted ascending). Models the B1700's restricted field lengths.
+     */
+    static HuffmanCode buildQuantized(
+        const std::vector<uint64_t> &freqs,
+        const std::vector<unsigned> &allowed_lens);
+
+    /** Append the codeword for @p symbol. */
+    void encode(BitWriter &bw, uint64_t symbol) const;
+
+    /**
+     * Decode one symbol from the reader.
+     * @param tree_steps if non-null, incremented once per tree edge
+     *                   traversed (the decode-cost model)
+     */
+    uint64_t decode(BitReader &br, uint64_t *tree_steps = nullptr) const;
+
+    /** Codeword length of @p symbol in bits. */
+    unsigned lengthOf(uint64_t symbol) const;
+
+    /** Alphabet size. */
+    size_t alphabetSize() const { return lengths_.size(); }
+
+    /** True once built with a non-empty alphabet. */
+    bool valid() const { return !lengths_.empty(); }
+
+    /**
+     * Expected codeword length under @p freqs, in bits per symbol.
+     * Used to compare against the entropy bound in tests.
+     */
+    double expectedLength(const std::vector<uint64_t> &freqs) const;
+
+    /**
+     * Number of internal nodes in the decode tree — a proxy for the
+     * decode-table memory the interpreter must keep resident (the paper:
+     * "this also increases the amount of memory occupied by the
+     * interpreter").
+     */
+    size_t decodeTreeNodes() const;
+
+    /** All codeword lengths (indexed by symbol). */
+    const std::vector<unsigned> &lengths() const { return lengths_; }
+
+  private:
+    static HuffmanCode fromLengths(std::vector<unsigned> lengths);
+
+    void buildTree();
+
+    /** Canonical codeword per symbol. */
+    std::vector<uint64_t> codes_;
+    /** Codeword length per symbol. */
+    std::vector<unsigned> lengths_;
+
+    struct Node
+    {
+        /** Child node indices; -1 means absent. */
+        int child[2] = {-1, -1};
+        /** Decoded symbol for leaves, -1 for internal nodes. */
+        int64_t symbol = -1;
+    };
+    /** Explicit decode tree, node 0 is the root. */
+    std::vector<Node> tree_;
+};
+
+/** Shannon entropy of a frequency vector, in bits per symbol. */
+double entropyBits(const std::vector<uint64_t> &freqs);
+
+} // namespace uhm
+
+#endif // UHM_SUPPORT_HUFFMAN_HH

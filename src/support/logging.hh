@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() flags an internal simulator bug and
+ * aborts; fatal() flags a user error (bad configuration, malformed input)
+ * and exits cleanly; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef UHM_SUPPORT_LOGGING_HH
+#define UHM_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace uhm
+{
+
+/** Exception thrown by panic(); never caught in production code paths. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(); tools catch it at top level and exit(1). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/**
+ * Report an internal invariant violation. Throws PanicError so tests can
+ * assert that bad internal states are caught.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad input program, impossible
+ * configuration). Throws FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define uhm_assert(cond, fmt, ...)                                         \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::uhm::panic("assertion '" #cond "' failed: " fmt              \
+                         __VA_OPT__(,) __VA_ARGS__);                       \
+    } while (0)
+
+} // namespace uhm
+
+#endif // UHM_SUPPORT_LOGGING_HH

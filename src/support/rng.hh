@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this reproduction is seeded: the synthetic workload
+ * generator, random replacement policies and randomized tests all draw
+ * from this splitmix64 generator so every table regenerates
+ * byte-identically.
+ */
+
+#ifndef UHM_SUPPORT_RNG_HH
+#define UHM_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace uhm
+{
+
+/** splitmix64: tiny, fast, and statistically adequate for simulation. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace uhm
+
+#endif // UHM_SUPPORT_RNG_HH

@@ -1,0 +1,17 @@
+#include "support/stats.hh"
+
+#include <sstream>
+
+namespace uhm
+{
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+} // namespace uhm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and scalar samples.
+ *
+ * Simulator components expose their event counts (memory references per
+ * level, decode steps, DTB hits/misses, micro-instructions retired)
+ * through StatSet so benches and tests read one uniform interface.
+ */
+
+#ifndef UHM_SUPPORT_STATS_HH
+#define UHM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uhm
+{
+
+/** A running scalar sample: count, sum, min, max. */
+class SampleStat
+{
+  public:
+    void
+    record(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A named bag of counters, mergeable and printable. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter named @p name (creating it at 0). */
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Read a counter; absent counters read as 0. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Merge another set into this one (counter-wise sum). */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &kv : other.counters_)
+            counters_[kv.first] += kv.second;
+    }
+
+    /** Reset every counter to zero. */
+    void clear() { counters_.clear(); }
+
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace uhm
+
+#endif // UHM_SUPPORT_STATS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * TextTable prints them in the same row/column layout the paper uses.
+ */
+
+#ifndef UHM_SUPPORT_TABLE_HH
+#define UHM_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace uhm
+{
+
+/** A simple right-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the column headers. */
+    void setHeader(std::vector<std::string> header)
+    {
+        header_ = std::move(header);
+    }
+
+    /** Append one row of cells. */
+    void addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format an integer. */
+    static std::string num(uint64_t v);
+    static std::string num(int64_t v);
+
+    /** Render the table. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace uhm
+
+#endif // UHM_SUPPORT_TABLE_HH

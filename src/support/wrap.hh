@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Two's-complement wrapping arithmetic.
+ *
+ * DIR arithmetic is defined to wrap modulo 2^64 (and INT64_MIN / -1 is
+ * defined to yield INT64_MIN). Every execution engine — the direct HLR
+ * interpreter, the semantic routines of IU1 — uses these helpers, so all
+ * levels of representation agree bit-for-bit and no signed-overflow UB
+ * can creep into the host build.
+ */
+
+#ifndef UHM_SUPPORT_WRAP_HH
+#define UHM_SUPPORT_WRAP_HH
+
+#include <cstdint>
+
+namespace uhm
+{
+
+inline int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapMul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapNeg(int64_t a)
+{
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
+}
+
+inline int64_t
+wrapShl(int64_t a, int64_t sh)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                << (static_cast<uint64_t>(sh) & 63));
+}
+
+/** Arithmetic right shift (well-defined in C++20). */
+inline int64_t
+wrapShr(int64_t a, int64_t sh)
+{
+    return a >> (static_cast<uint64_t>(sh) & 63);
+}
+
+/** Division with the INT64_MIN / -1 case pinned (caller excludes 0). */
+inline int64_t
+wrapDiv(int64_t a, int64_t b)
+{
+    if (a == INT64_MIN && b == -1)
+        return INT64_MIN;
+    return a / b;
+}
+
+/** Remainder with the INT64_MIN % -1 case pinned (caller excludes 0). */
+inline int64_t
+wrapMod(int64_t a, int64_t b)
+{
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+} // namespace uhm
+
+#endif // UHM_SUPPORT_WRAP_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Conversion of decode-work counts into machine cycles.
+ *
+ * Section 7: "For each field, for each level of decoding, at least two
+ * instructions are needed; the first one extracts the field ... causing
+ * a CASE STATEMENT type of branch ... The selected branch instruction
+ * must then be executed." The cost model charges two cycles per field
+ * extraction and per decode-tree edge (extract + branch) and one cycle
+ * per metadata table lookup (a level-1 reference), plus a fixed
+ * per-instruction dispatch overhead. These weights make the paper's d a
+ * measured function of the encoding scheme; benches can scale it with
+ * extraDecodeCycles to explore the d axis.
+ */
+
+#ifndef UHM_UHM_COSTS_HH
+#define UHM_UHM_COSTS_HH
+
+#include <cstdint>
+
+#include "dir/encoding.hh"
+
+namespace uhm
+{
+
+/** Decode-cost weights (in level-1 cycles). */
+struct CostModel
+{
+    /** Cycles per packed-field extraction (shift/mask + branch). */
+    uint64_t cyclesPerFieldExtract = 2;
+    /** Cycles per Huffman decode-tree edge (bit extract + branch). */
+    uint64_t cyclesPerTreeEdge = 2;
+    /** Cycles per decode-metadata table lookup (level-1 reference). */
+    uint64_t cyclesPerTableLookup = 1;
+    /** Fixed per-instruction decode dispatch overhead. */
+    uint64_t dispatchOverhead = 2;
+    /** Additional artificial decode padding (d-axis sweeps). */
+    uint64_t extraDecodeCycles = 0;
+
+    /** Decode cycles for one instruction's DecodeCost. */
+    uint64_t
+    decodeCycles(const DecodeCost &cost) const
+    {
+        return cost.fieldExtracts * cyclesPerFieldExtract +
+               cost.treeEdges * cyclesPerTreeEdge +
+               cost.tableLookups * cyclesPerTableLookup +
+               dispatchOverhead + extraDecodeCycles;
+    }
+};
+
+} // namespace uhm
+
+#endif // UHM_UHM_COSTS_HH

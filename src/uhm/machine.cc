@@ -1,0 +1,518 @@
+#include "uhm/machine.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/wrap.hh"
+
+namespace uhm
+{
+
+const char *
+machineKindName(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::Conventional: return "conventional";
+      case MachineKind::Cached:       return "cached";
+      case MachineKind::Dtb:          return "dtb";
+      case MachineKind::Dtb2:         return "dtb2";
+    }
+    return "?";
+}
+
+Machine::Machine(const EncodedDir &image, const MachineConfig &config)
+    : image_(&image), config_(config), routines_(config.layout),
+      mem_(config.layout.level1Words, config.timing), translator_(image)
+{
+    switch (config_.kind) {
+      case MachineKind::Dtb2:
+        dtbL1_ = std::make_unique<Dtb>(config_.dtbL1);
+        [[fallthrough]];
+      case MachineKind::Dtb:
+        dtb_ = std::make_unique<Dtb>(config_.dtb);
+        break;
+      case MachineKind::Cached:
+        icache_ = std::make_unique<SetAssocCache>(config_.icache);
+        break;
+      case MachineKind::Conventional:
+        break;
+    }
+    const DirProgram &prog = image.program();
+    if (prog.maxDepth() > config_.layout.maxDepth) {
+        fatal("program nests %u contours deep; layout supports %llu",
+              prog.maxDepth(),
+              static_cast<unsigned long long>(config_.layout.maxDepth));
+    }
+}
+
+Machine::~Machine() = default;
+
+// ---- operand stack --------------------------------------------------------
+
+void
+Machine::pushStack(int64_t value, uint64_t &bucket)
+{
+    if (sp_ >= config_.layout.stackWords)
+        fatal("operand stack overflow (%llu words)",
+              static_cast<unsigned long long>(config_.layout.stackWords));
+    uint64_t before = mem_.cycles();
+    mem_.write(config_.layout.stackBase + sp_, value);
+    ++sp_;
+    bucket += mem_.cycles() - before;
+}
+
+int64_t
+Machine::popStack(uint64_t &bucket)
+{
+    if (sp_ == 0)
+        fatal("operand stack underflow");
+    --sp_;
+    uint64_t before = mem_.cycles();
+    int64_t v = mem_.read(config_.layout.stackBase + sp_);
+    bucket += mem_.cycles() - before;
+    return v;
+}
+
+// ---- IU1: micro-routine execution ------------------------------------------
+
+void
+Machine::runRoutine(const MicroRoutine &routine)
+{
+    const MemTiming &timing = config_.timing;
+    size_t mpc = 0;
+    for (;;) {
+        uhm_assert(mpc < routine.ops.size(),
+                   "fell off routine '%s'", routine.name.c_str());
+        const MicroOp &op = routine.ops[mpc++];
+        // One level-1 reference to fetch the micro-instruction.
+        breakdown_.semantic += timing.tau1;
+        stats_.add("micro_ops");
+
+        auto &r = regs_;
+        switch (op.op) {
+          case MOp::MOVI: r[op.dst] = op.imm; break;
+          case MOp::MOV:  r[op.dst] = r[op.srcA]; break;
+          case MOp::ADD:  r[op.dst] = wrapAdd(r[op.srcA], r[op.srcB]); break;
+          case MOp::ADDI: r[op.dst] = wrapAdd(r[op.srcA], op.imm); break;
+          case MOp::SUB:  r[op.dst] = wrapSub(r[op.srcA], r[op.srcB]); break;
+          case MOp::MUL:  r[op.dst] = wrapMul(r[op.srcA], r[op.srcB]); break;
+          case MOp::DIV:
+            if (r[op.srcB] == 0)
+                fatal("division by zero");
+            r[op.dst] = wrapDiv(r[op.srcA], r[op.srcB]);
+            break;
+          case MOp::MOD:
+            if (r[op.srcB] == 0)
+                fatal("modulo by zero");
+            r[op.dst] = wrapMod(r[op.srcA], r[op.srcB]);
+            break;
+          case MOp::NEG:  r[op.dst] = wrapNeg(r[op.srcA]); break;
+          case MOp::AND:  r[op.dst] = r[op.srcA] & r[op.srcB]; break;
+          case MOp::OR:   r[op.dst] = r[op.srcA] | r[op.srcB]; break;
+          case MOp::XOR:  r[op.dst] = r[op.srcA] ^ r[op.srcB]; break;
+          case MOp::NOT:  r[op.dst] = ~r[op.srcA]; break;
+          case MOp::SHL:
+            r[op.dst] = wrapShl(r[op.srcA], r[op.srcB]);
+            break;
+          case MOp::SHR:
+            r[op.dst] = wrapShr(r[op.srcA], r[op.srcB]);
+            break;
+          case MOp::CMPEQ: r[op.dst] = r[op.srcA] == r[op.srcB]; break;
+          case MOp::CMPNE: r[op.dst] = r[op.srcA] != r[op.srcB]; break;
+          case MOp::CMPLT: r[op.dst] = r[op.srcA] <  r[op.srcB]; break;
+          case MOp::CMPLE: r[op.dst] = r[op.srcA] <= r[op.srcB]; break;
+          case MOp::CMPGT: r[op.dst] = r[op.srcA] >  r[op.srcB]; break;
+          case MOp::CMPGE: r[op.dst] = r[op.srcA] >= r[op.srcB]; break;
+          case MOp::EXTRACT: {
+            unsigned shift = static_cast<unsigned>(op.imm & 63);
+            unsigned width = static_cast<unsigned>((op.imm >> 6) & 63);
+            uint64_t mask = width >= 64 ? ~0ull : (1ull << width) - 1;
+            r[op.dst] = static_cast<int64_t>(
+                (static_cast<uint64_t>(r[op.srcA]) >> shift) & mask);
+            break;
+          }
+          case MOp::LOAD: {
+            uint64_t before = mem_.cycles();
+            r[op.dst] = mem_.read(
+                static_cast<uint64_t>(r[op.srcA] + op.imm));
+            breakdown_.semantic += mem_.cycles() - before;
+            break;
+          }
+          case MOp::STORE: {
+            uint64_t before = mem_.cycles();
+            mem_.write(static_cast<uint64_t>(r[op.srcA] + op.imm),
+                       r[op.srcB]);
+            breakdown_.semantic += mem_.cycles() - before;
+            break;
+          }
+          case MOp::SPUSH:
+            pushStack(r[op.srcA], breakdown_.semantic);
+            break;
+          case MOp::SPOP:
+            r[op.dst] = popStack(breakdown_.semantic);
+            break;
+          case MOp::RASPUSH:
+            if (ras_.size() >= config_.layout.rasDepth)
+                fatal("return-address stack overflow");
+            ras_.push_back(static_cast<uint64_t>(r[op.srcA]));
+            break;
+          case MOp::RASPOP:
+            if (ras_.empty())
+                fatal("return-address stack underflow");
+            r[op.dst] = static_cast<int64_t>(ras_.back());
+            ras_.pop_back();
+            break;
+          case MOp::BR:
+            mpc = static_cast<size_t>(
+                static_cast<int64_t>(mpc) + op.imm);
+            break;
+          case MOp::BRZ:
+            if (r[op.srcA] == 0)
+                mpc = static_cast<size_t>(
+                    static_cast<int64_t>(mpc) + op.imm);
+            break;
+          case MOp::BRNZ:
+            if (r[op.srcA] != 0)
+                mpc = static_cast<size_t>(
+                    static_cast<int64_t>(mpc) + op.imm);
+            break;
+          case MOp::BRNEG:
+            if (r[op.srcA] < 0)
+                mpc = static_cast<size_t>(
+                    static_cast<int64_t>(mpc) + op.imm);
+            break;
+          case MOp::OUTP:
+            output_.push_back(r[op.srcA]);
+            break;
+          case MOp::INP:
+            r[op.dst] = inputPos_ < input_->size() ?
+                (*input_)[inputPos_++] : 0;
+            break;
+          case MOp::DONE:
+            return;
+        }
+    }
+}
+
+// ---- fetch paths ----------------------------------------------------------
+
+void
+Machine::chargeFetchLevel2(uint64_t bits)
+{
+    uint64_t refs = std::max<uint64_t>(1, (bits + 63) / 64);
+    breakdown_.fetch += refs * config_.timing.tau2;
+    stats_.add("dir_fetch_refs", refs);
+}
+
+void
+Machine::chargeFetchCached(uint64_t bit_addr, uint64_t bits)
+{
+    uint64_t first = bit_addr / 64;
+    uint64_t last = bits == 0 ? first : (bit_addr + bits - 1) / 64;
+    for (uint64_t word = first; word <= last; ++word) {
+        bool hit = icache_->access(word * 8);
+        breakdown_.fetch += hit ? config_.timing.tauD :
+            config_.timing.tau2;
+        stats_.add("dir_fetch_refs");
+    }
+}
+
+// ---- execution ------------------------------------------------------------
+
+void
+Machine::traceEvent(const std::string &event)
+{
+    if (config_.traceEvents)
+        trace_.push_back(event);
+}
+
+void
+Machine::executeStaged(const Staging &staging)
+{
+    for (int64_t v : staging.pushes)
+        pushStack(v, breakdown_.stage);
+    if (staging.routine >= 0) {
+        const MicroRoutine &routine = routines_.byId(staging.routine);
+        if (!routine.empty())
+            runRoutine(routine);
+    }
+    switch (staging.next) {
+      case NextKind::Imm:
+        pc_ = staging.nextImm;
+        break;
+      case NextKind::Stack:
+        pc_ = static_cast<uint64_t>(popStack(breakdown_.dispatch));
+        break;
+      case NextKind::Halt:
+        halted_ = true;
+        break;
+    }
+}
+
+void
+Machine::runConventionalOrCached()
+{
+    bool cached = config_.kind == MachineKind::Cached;
+    while (!halted_) {
+        if (dirInstrs_ >= config_.maxDirInstrs)
+            fatal("DIR instruction budget exhausted (%llu)",
+                  static_cast<unsigned long long>(config_.maxDirInstrs));
+        ++dirInstrs_;
+        ++decodedInstrs_;
+        if (config_.captureAddressTrace)
+            addressTrace_.push_back(pc_);
+
+        DecodeResult res = image_->decodeAt(pc_);
+        ++opcodeCounts_[static_cast<size_t>(res.instr.op)];
+        uint64_t bits = res.nextBitAddr - pc_;
+        if (cached)
+            chargeFetchCached(pc_, bits);
+        else
+            chargeFetchLevel2(bits);
+        breakdown_.decode += config_.costs.decodeCycles(res.cost);
+
+        Staging st = stageInstruction(res.instr, *image_, res.index);
+        executeStaged(st);
+    }
+}
+
+uint64_t
+Machine::executeShortSequence(const std::vector<ShortInstr> &code,
+                              uint64_t fetch_cost)
+{
+    for (const ShortInstr &si : code) {
+        // IU2 fetches each short instruction from the buffer array.
+        breakdown_.dispatch += fetch_cost;
+        stats_.add("short_instrs");
+        switch (si.op) {
+          case SOp::PUSH: {
+            int64_t value = si.operand;
+            if (si.mode == SMode::Direct || si.mode == SMode::Indirect) {
+                uint64_t before = mem_.cycles();
+                value = mem_.read(static_cast<uint64_t>(si.operand));
+                if (si.mode == SMode::Indirect)
+                    value = mem_.read(static_cast<uint64_t>(value));
+                breakdown_.stage += mem_.cycles() - before;
+            }
+            pushStack(value, breakdown_.stage);
+            break;
+          }
+          case SOp::POP: {
+            int64_t value = popStack(breakdown_.stage);
+            uint64_t before = mem_.cycles();
+            uint64_t addr = static_cast<uint64_t>(si.operand);
+            if (si.mode == SMode::Indirect)
+                addr = static_cast<uint64_t>(mem_.read(addr));
+            mem_.write(addr, value);
+            breakdown_.stage += mem_.cycles() - before;
+            break;
+          }
+          case SOp::CALL: {
+            const MicroRoutine &routine = routines_.byId(si.operand);
+            if (!routine.empty())
+                runRoutine(routine);
+            break;
+          }
+          case SOp::INTERP:
+            if (si.mode == SMode::Stack)
+                return static_cast<uint64_t>(
+                    popStack(breakdown_.dispatch));
+            return static_cast<uint64_t>(si.operand);
+        }
+    }
+    panic("PSDER sequence did not end with INTERP");
+}
+
+void
+Machine::runDtb()
+{
+    bool two_level = config_.kind == MachineKind::Dtb2;
+    while (!halted_) {
+        if (dirInstrs_ >= config_.maxDirInstrs)
+            fatal("DIR instruction budget exhausted (%llu)",
+                  static_cast<unsigned long long>(config_.maxDirInstrs));
+        ++dirInstrs_;
+        if (config_.captureAddressTrace)
+            addressTrace_.push_back(pc_);
+
+        std::vector<ShortInstr> local;
+        const std::vector<ShortInstr> *code = nullptr;
+        uint64_t fetch_cost = config_.timing.tauD;
+
+        // First-level translation buffer (Dtb2): a tau1-speed lookup.
+        if (two_level) {
+            breakdown_.dispatch += config_.timing.tau1;
+            Dtb::LookupResult l1 = dtbL1_->lookup(pc_);
+            if (l1.hit) {
+                code = l1.code;
+                fetch_cost = config_.timing.tau1;
+            }
+        }
+
+        if (!code) {
+        // INTERP presents the DIR address to the associative address
+        // array (one DTB-array access).
+        breakdown_.dispatch += config_.timing.tauD;
+        Dtb::LookupResult lr = dtb_->lookup(pc_);
+
+        if (lr.hit) {
+            if (config_.traceEvents) {
+                std::ostringstream os;
+                os << "interp hit dir@" << pc_;
+                traceEvent(os.str());
+            }
+            // Promote into the first-level buffer: one tau1 store per
+            // short instruction copied.
+            if (two_level) {
+                breakdown_.dispatch +=
+                    lr.code->size() * config_.timing.tau1;
+                local = *lr.code;
+                dtbL1_->insert(pc_, *lr.code);
+                code = &local;
+            } else {
+                code = lr.code;
+            }
+        } else {
+            // Figure 4: trap through DTRPOINT to the dynamic translator.
+            breakdown_.dispatch += config_.trapCycles;
+            ++decodedInstrs_;
+            ++translatedInstrs_;
+
+            Translation tr = translator_.translate(pc_);
+            chargeFetchLevel2(tr.bits);
+            breakdown_.decode += config_.costs.decodeCycles(tr.decodeCost);
+            // Generation: one cycle to construct each short instruction
+            // plus one buffer-array store each.
+            breakdown_.translate +=
+                tr.genSteps * (1 + config_.timing.tauD);
+
+            bool stored = dtb_->insert(pc_, tr.code);
+            if (config_.traceEvents) {
+                std::ostringstream os;
+                os << "interp miss dir@" << pc_
+                   << " -> translate (" << tr.code.size()
+                   << " short instrs, " << (stored ? "stored" : "rejected")
+                   << ")";
+                traceEvent(os.str());
+            }
+            if (two_level)
+                dtbL1_->insert(pc_, tr.code);
+            local = std::move(tr.code);
+            code = &local;
+        }
+        }
+
+        uint64_t next = executeShortSequence(*code, fetch_cost);
+        if (next == haltBitAddr)
+            halted_ = true;
+        else
+            pc_ = next;
+    }
+}
+
+RunResult
+Machine::run(const std::vector<int64_t> &input)
+{
+    const DirProgram &prog = image_->program();
+    const MachineLayout &layout = config_.layout;
+
+    // Reset machine state.
+    regs_.fill(0);
+    sp_ = 0;
+    ras_.clear();
+    output_.clear();
+    input_ = &input;
+    inputPos_ = 0;
+    halted_ = false;
+    breakdown_ = CycleBreakdown{};
+    dirInstrs_ = decodedInstrs_ = translatedInstrs_ = 0;
+    stats_.clear();
+    trace_.clear();
+    addressTrace_.clear();
+    opcodeCounts_.assign(numOps, 0);
+    mem_.resetStats();
+    if (dtb_) {
+        dtb_->invalidateAll();
+        dtb_->resetStats();
+    }
+    if (dtbL1_) {
+        dtbL1_->invalidateAll();
+        dtbL1_->resetStats();
+    }
+    if (icache_) {
+        icache_->flush();
+        icache_->resetStats();
+    }
+
+    // Loader: display D[0] points at the globals; FSP starts just above
+    // them. Loader pokes are not charged.
+    uint64_t globals_base = layout.globalsBase();
+    for (uint64_t d = 0; d <= layout.maxDepth; ++d)
+        mem_.poke(layout.dispBase + d, 0);
+    mem_.poke(layout.dispBase, static_cast<int64_t>(globals_base));
+    for (uint64_t g = 0; g < prog.numGlobals; ++g)
+        mem_.poke(globals_base + g, 0);
+    regs_[regFsp] = static_cast<int64_t>(globals_base + prog.numGlobals);
+
+    pc_ = image_->entryBitAddr();
+
+    if (config_.kind == MachineKind::Dtb ||
+        config_.kind == MachineKind::Dtb2) {
+        runDtb();
+    } else {
+        runConventionalOrCached();
+    }
+
+    RunResult result;
+    result.output = std::move(output_);
+    result.breakdown = breakdown_;
+    result.cycles = breakdown_.total();
+    result.dirInstrs = dirInstrs_;
+    result.stats = stats_;
+    result.stats.merge(mem_.stats());
+    result.trace = std::move(trace_);
+    result.addressTrace = std::move(addressTrace_);
+    if (config_.kind == MachineKind::Conventional ||
+        config_.kind == MachineKind::Cached) {
+        result.opcodeCounts = opcodeCounts_;
+    }
+
+    if (dtb_) {
+        result.dtbHitRatio = dtb_->hitRatio();
+        result.stats.add("dtb_hits", dtb_->hits());
+        result.stats.add("dtb_misses", dtb_->misses());
+        result.stats.merge(dtb_->stats());
+    }
+    if (dtbL1_) {
+        result.dtbL1HitRatio = dtbL1_->hitRatio();
+        result.stats.add("dtbl1_hits", dtbL1_->hits());
+        result.stats.add("dtbl1_misses", dtbL1_->misses());
+    }
+    if (icache_) {
+        result.cacheHitRatio = icache_->hitRatio();
+        result.stats.add("icache_hits", icache_->hits());
+        result.stats.add("icache_misses", icache_->misses());
+    }
+
+    result.measuredD = decodedInstrs_ == 0 ? 0.0 :
+        static_cast<double>(breakdown_.decode) /
+        static_cast<double>(decodedInstrs_);
+    result.measuredX = dirInstrs_ == 0 ? 0.0 :
+        static_cast<double>(breakdown_.semantic) /
+        static_cast<double>(dirInstrs_);
+    result.measuredG = translatedInstrs_ == 0 ? 0.0 :
+        static_cast<double>(breakdown_.translate) /
+        static_cast<double>(translatedInstrs_);
+    return result;
+}
+
+RunResult
+runProgram(const DirProgram &program, EncodingScheme scheme,
+           const MachineConfig &config, const std::vector<int64_t> &input)
+{
+    std::unique_ptr<EncodedDir> image = encodeDir(program, scheme);
+    Machine machine(*image, config);
+    return machine.run(input);
+}
+
+} // namespace uhm

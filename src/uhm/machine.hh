@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The universal host machine simulator (section 6, Figure 3).
+ *
+ * One Machine executes an encoded DIR program under one of three
+ * organizations — the three cases of the section 7 analysis:
+ *
+ *  - Conventional: the IFU fetches each DIR instruction from level-2
+ *    memory; IU1 decodes it and runs the semantic routines (T1).
+ *  - Cached: as Conventional, but DIR fetches pass through a
+ *    set-associative instruction cache over level 2 (T3).
+ *  - Dtb: the INTERP instruction presents each DIR address to the DTB.
+ *    On a hit, IU2 executes the resident PSDER short-format sequence,
+ *    CALLing into IU1 for semantic routines. On a miss, control traps
+ *    through DTRPOINT to the dynamic translator, which decodes the DIR
+ *    instruction, generates the PSDER translation, stores it in the DTB
+ *    and starts it (T2; the Figure 4 flow).
+ *
+ * All three share the memory, the operand/return stacks and the
+ * semantic-routine library, so program outputs are identical across
+ * organizations; only the fetch/decode/translate path — and therefore
+ * the cycle count — differs.
+ */
+
+#ifndef UHM_UHM_MACHINE_HH
+#define UHM_UHM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dtb.hh"
+#include "core/translator.hh"
+#include "dir/encoding.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "psder/layout.hh"
+#include "psder/routines.hh"
+#include "psder/staging.hh"
+#include "uhm/costs.hh"
+
+namespace uhm
+{
+
+/** The three machine organizations of section 7. */
+enum class MachineKind : uint8_t
+{
+    Conventional, ///< T1: plain two-level UHM
+    Cached,       ///< T3: UHM + instruction cache on level 2
+    Dtb,          ///< T2: UHM + dynamic translation buffer
+    /**
+     * Two levels of dynamic translation (section 4: "it is possible
+     * that a number of levels of dynamic translation will be
+     * required"): a small tau1-speed first-level buffer backed by the
+     * main DTB; hot translations are promoted on reuse.
+     */
+    Dtb2,
+};
+
+/** Printable name of a machine kind. */
+const char *machineKindName(MachineKind kind);
+
+/** Full configuration of one machine instance. */
+struct MachineConfig
+{
+    MachineKind kind = MachineKind::Dtb;
+    MachineLayout layout;
+    MemTiming timing;
+    CostModel costs;
+    /** Instruction cache (Cached only). */
+    CacheConfig icache;
+    /** Dynamic translation buffer (Dtb and Dtb2). */
+    DtbConfig dtb;
+    /** First-level translation buffer (Dtb2 only). */
+    DtbConfig dtbL1{
+        .capacityBytes = 512,
+        .unitShortInstrs = 4,
+        .assoc = 4,
+        .policy = ReplPolicy::LRU,
+        .allowOverflow = true,
+        .overflowFraction = 0.25,
+        .seed = 11,
+    };
+    /** Runaway guard: abort after this many DIR instructions. */
+    uint64_t maxDirInstrs = 500'000'000;
+    /** Fixed trap overhead on a DTB miss (DTRPOINT branch, Figure 4). */
+    uint64_t trapCycles = 2;
+    /** Record an event trace (tests of the Figure 4 flow). */
+    bool traceEvents = false;
+    /**
+     * Record the DIR-address reference trace of the run (one entry per
+     * interpreted instruction) for trace-driven DTB studies
+     * (core/trace_sim.hh). Off by default: long runs produce long
+     * traces.
+     */
+    bool captureAddressTrace = false;
+};
+
+/** Cycle buckets: where the time went. */
+struct CycleBreakdown
+{
+    uint64_t fetch = 0;     ///< DIR instruction fetches (level 2 / cache)
+    uint64_t decode = 0;    ///< DIR decode work
+    uint64_t stage = 0;     ///< staging pushes / IU2 PUSH execution
+    uint64_t dispatch = 0;  ///< INTERP lookups, IU2 fetches, loop overhead
+    uint64_t semantic = 0;  ///< IU1 semantic-routine execution (x)
+    uint64_t translate = 0; ///< PSDER generation + buffer stores (g)
+
+    uint64_t
+    total() const
+    {
+        return fetch + decode + stage + dispatch + semantic + translate;
+    }
+};
+
+/** Result of one program execution. */
+struct RunResult
+{
+    /** Values produced by WRITE, in order. */
+    std::vector<int64_t> output;
+    /** Total machine cycles. */
+    uint64_t cycles = 0;
+    /** DIR instructions interpreted. */
+    uint64_t dirInstrs = 0;
+    CycleBreakdown breakdown;
+    /** Detailed counters (memory accesses, DTB/cache hits, ...). */
+    StatSet stats;
+    /** DTB hit ratio (Dtb/Dtb2 kinds; 1.0 otherwise). */
+    double dtbHitRatio = 1.0;
+    /** First-level translation-buffer hit ratio (Dtb2 only). */
+    double dtbL1HitRatio = 1.0;
+    /** Instruction-cache hit ratio (Cached kind; 1.0 otherwise). */
+    double cacheHitRatio = 1.0;
+    /** Event trace (when MachineConfig::traceEvents). */
+    std::vector<std::string> trace;
+    /** DIR-address trace (when MachineConfig::captureAddressTrace). */
+    std::vector<uint64_t> addressTrace;
+    /**
+     * Dynamic opcode execution counts (indexed by Op). Filled by the
+     * Conventional and Cached organizations, which decode every
+     * executed instruction; the DTB organizations leave it empty
+     * (on a hit the opcode is never re-decoded — that is the point).
+     */
+    std::vector<uint64_t> opcodeCounts;
+
+    /** Average DIR instruction interpretation time (the paper's T). */
+    double
+    avgInterpTime() const
+    {
+        return dirInstrs == 0 ? 0.0 :
+            static_cast<double>(cycles) / static_cast<double>(dirInstrs);
+    }
+
+    /** Measured average decode cycles per *decoded* DIR instruction. */
+    double measuredD = 0.0;
+    /** Measured average semantic cycles per DIR instruction (x). */
+    double measuredX = 0.0;
+    /** Measured average translate cycles per translated instruction. */
+    double measuredG = 0.0;
+};
+
+/** The universal host machine. */
+class Machine
+{
+  public:
+    /**
+     * @param image the encoded static representation (must outlive the
+     *              machine)
+     * @param config machine organization and parameters
+     */
+    Machine(const EncodedDir &image, const MachineConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Execute the program to HALT. */
+    RunResult run(const std::vector<int64_t> &input = {});
+
+    /** The DTB (Dtb/Dtb2 kinds; null otherwise). */
+    const Dtb *dtb() const { return dtb_.get(); }
+
+    /** The first-level translation buffer (Dtb2 only). */
+    const Dtb *dtbL1() const { return dtbL1_.get(); }
+
+    /** The instruction cache (Cached kind only; null otherwise). */
+    const SetAssocCache *icache() const { return icache_.get(); }
+
+    /** The semantic-routine library. */
+    const RoutineLibrary &routines() const { return routines_; }
+
+    const MachineConfig &config() const { return config_; }
+
+  private:
+    // ---- operand stack (resident in level-1 memory) ----------------------
+    void pushStack(int64_t value, uint64_t &bucket);
+    int64_t popStack(uint64_t &bucket);
+
+    // ---- IU1: long-format micro-routine execution ------------------------
+    void runRoutine(const MicroRoutine &routine);
+
+    // ---- fetch paths ------------------------------------------------------
+    /** Charge a conventional level-2 fetch of @p bits DIR bits. */
+    void chargeFetchLevel2(uint64_t bits);
+    /** Charge a fetch of @p bits at @p bit_addr through the icache. */
+    void chargeFetchCached(uint64_t bit_addr, uint64_t bits);
+
+    // ---- execution loops ---------------------------------------------------
+    void runConventionalOrCached();
+    void runDtb();
+
+    /** Perform the staging actions and semantics of one instruction. */
+    void executeStaged(const Staging &staging);
+
+    /**
+     * Execute one PSDER short sequence; returns the successor address.
+     * @param fetch_cost cycles per short-instruction fetch (tauD from
+     *                   the main DTB, tau1 from the first-level buffer)
+     */
+    uint64_t executeShortSequence(const std::vector<ShortInstr> &code,
+                                  uint64_t fetch_cost);
+
+    void traceEvent(const std::string &event);
+
+    const EncodedDir *image_;
+    MachineConfig config_;
+    RoutineLibrary routines_;
+    MainMemory mem_;
+    std::unique_ptr<Dtb> dtb_;
+    std::unique_ptr<Dtb> dtbL1_;
+    std::unique_ptr<SetAssocCache> icache_;
+    DynamicTranslator translator_;
+
+    // Machine state.
+    std::array<int64_t, numMicroRegs> regs_{};
+    uint64_t sp_ = 0;
+    std::vector<uint64_t> ras_;
+    uint64_t pc_ = 0;
+    bool halted_ = false;
+
+    // I/O.
+    const std::vector<int64_t> *input_ = nullptr;
+    size_t inputPos_ = 0;
+    std::vector<int64_t> output_;
+
+    // Accounting.
+    CycleBreakdown breakdown_;
+    uint64_t dirInstrs_ = 0;
+    uint64_t decodedInstrs_ = 0;
+    uint64_t translatedInstrs_ = 0;
+    StatSet stats_;
+    std::vector<std::string> trace_;
+    std::vector<uint64_t> opcodeCounts_;
+    std::vector<uint64_t> addressTrace_;
+};
+
+/** Convenience: encode @p program with @p scheme and run it. */
+RunResult runProgram(const DirProgram &program, EncodingScheme scheme,
+                     const MachineConfig &config,
+                     const std::vector<int64_t> &input = {});
+
+} // namespace uhm
+
+#endif // UHM_UHM_MACHINE_HH

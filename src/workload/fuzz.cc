@@ -1,0 +1,354 @@
+#include "workload/fuzz.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace uhm::workload
+{
+
+namespace
+{
+
+/** A variable visible to the generator. */
+struct FuzzVar
+{
+    std::string name;
+    /** 0 for scalars. */
+    unsigned arraySize = 0;
+};
+
+/** A callable procedure. */
+struct FuzzProc
+{
+    std::string name;
+    unsigned nparams = 0;
+    bool isFunc = false;
+};
+
+class Generator
+{
+  public:
+    explicit Generator(const FuzzConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
+    {}
+
+    std::string
+    run()
+    {
+        std::ostringstream os;
+        os << "program fuzz" << cfg_.seed << ";\n";
+
+        // Globals: scalars, arrays, and one dedicated loop counter per
+        // possible simultaneous nesting level per block.
+        for (unsigned i = 0; i < cfg_.numGlobals; ++i)
+            globals_.push_back({"g" + std::to_string(i), 0});
+        for (unsigned i = 0; i < cfg_.numArrays; ++i) {
+            globals_.push_back(
+                {"arr" + std::to_string(i),
+                 static_cast<unsigned>(2 + rng_.below(6))});
+        }
+        // Procedures: each may call only earlier ones (acyclic).
+        std::ostringstream procs_src;
+        for (unsigned p = 0; p < cfg_.numProcs; ++p)
+            emitProc(procs_src, p);
+
+        // Main body (generated before its var list so the loop counters
+        // it allocates can be declared).
+        std::ostringstream body;
+        unsigned first_counter = counterId_;
+        std::vector<FuzzVar> scope = globals_;
+        emitBlockBody(body, scope, 0, true);
+        for (unsigned i = 0; i < 2 && i < cfg_.numGlobals; ++i)
+            body << "  write g" << i << ";\n";
+
+        os << "var ";
+        for (size_t i = 0; i < globals_.size(); ++i) {
+            os << (i ? ", " : "") << globals_[i].name;
+            if (globals_[i].arraySize > 0)
+                os << "[" << globals_[i].arraySize << "]";
+        }
+        for (unsigned c = first_counter; c < counterId_; ++c)
+            os << ", lc" << c;
+        os << ";\n";
+        os << procs_src.str();
+        os << "begin\n" << body.str() << "end.\n";
+        return os.str();
+    }
+
+  private:
+    void
+    emitProc(std::ostringstream &os, unsigned index)
+    {
+        FuzzProc proc;
+        proc.isFunc = rng_.chance(0.5);
+        proc.name = (proc.isFunc ? "fn" : "pr") + std::to_string(index);
+        proc.nparams = static_cast<unsigned>(rng_.below(3));
+
+        os << (proc.isFunc ? "func " : "proc ") << proc.name << "(";
+        std::vector<FuzzVar> scope = globals_;
+        for (unsigned i = 0; i < proc.nparams; ++i) {
+            os << (i ? ", " : "") << "p" << i;
+            scope.push_back({"p" + std::to_string(i), 0});
+        }
+        os << ");\n";
+
+        unsigned nlocals = 1 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < nlocals; ++i)
+            scope.push_back({"v" + std::to_string(i), 0});
+
+        // Generate the body first so its loop counters can be declared
+        // as locals.
+        std::ostringstream body;
+        unsigned first_counter = counterId_;
+        // Initialize locals before anything reads them (the language
+        // leaves uninitialized locals undefined).
+        for (unsigned i = 0; i < nlocals; ++i)
+            body << "  v" << i << " := " << rng_.range(-9, 9) << ";\n";
+        emitBlockBody(body, scope, 0, false);
+        if (proc.isFunc)
+            body << "  return " << expr(scope, 0) << ";\n";
+
+        os << "var ";
+        for (unsigned i = 0; i < nlocals; ++i)
+            os << (i ? ", " : "") << "v" << i;
+        for (unsigned c = first_counter; c < counterId_; ++c)
+            os << ", lc" << c;
+        os << ";\n";
+        os << "begin\n";
+        // Locals (counters included) are uninitialized by language
+        // rule; zero them before the body may read them.
+        for (unsigned c = first_counter; c < counterId_; ++c)
+            os << "  lc" << c << " := 0;\n";
+        os << body.str() << "end;\n";
+
+        procs_.push_back(proc);
+    }
+
+    void
+    emitBlockBody(std::ostringstream &os, std::vector<FuzzVar> &scope,
+                  unsigned depth, bool in_main)
+    {
+        unsigned n = 1 + static_cast<unsigned>(
+            rng_.below(cfg_.stmtsPerBlock));
+        for (unsigned i = 0; i < n; ++i)
+            emitStmt(os, scope, depth, in_main);
+    }
+
+    /** A writable scalar that is not an active loop counter. */
+    const FuzzVar *
+    pickScalar(const std::vector<FuzzVar> &scope)
+    {
+        for (int attempt = 0; attempt < 16; ++attempt) {
+            const FuzzVar &v = scope[rng_.below(scope.size())];
+            if (v.arraySize > 0)
+                continue;
+            bool is_counter = false;
+            for (const std::string &c : activeCounters_)
+                is_counter |= c == v.name;
+            if (!is_counter)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    const FuzzVar *
+    pickArray(const std::vector<FuzzVar> &scope)
+    {
+        for (int attempt = 0; attempt < 16; ++attempt) {
+            const FuzzVar &v = scope[rng_.below(scope.size())];
+            if (v.arraySize > 0)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    /** An always-in-bounds index expression for @p array. */
+    std::string
+    safeIndex(const std::vector<FuzzVar> &scope, const FuzzVar &array,
+              unsigned depth)
+    {
+        // ((e % n) + n) % n lies in [0, n).
+        std::string e = expr(scope, depth + 1);
+        std::string n = std::to_string(array.arraySize);
+        return "((" + e + ") % " + n + " + " + n + ") % " + n;
+    }
+
+    void
+    emitStmt(std::ostringstream &os, std::vector<FuzzVar> &scope,
+             unsigned depth, bool in_main)
+    {
+        std::string indent(2 * (depth + 1), ' ');
+        switch (rng_.below(depth >= cfg_.maxStmtDepth ? 5 : 8)) {
+          case 0:
+          case 1: { // scalar assignment (most common)
+            const FuzzVar *v = pickScalar(scope);
+            if (!v)
+                return;
+            os << indent << v->name << " := " << expr(scope, 0)
+               << ";\n";
+            return;
+          }
+          case 2: { // array element assignment
+            const FuzzVar *a = pickArray(scope);
+            if (!a)
+                return;
+            os << indent << a->name << "[" << safeIndex(scope, *a, 0)
+               << "] := " << expr(scope, 0) << ";\n";
+            return;
+          }
+          case 3: // write
+            os << indent << "write " << expr(scope, 0) << ";\n";
+            return;
+          case 4: { // call a procedure (main only, keeps calls acyclic)
+            if (!in_main || procs_.empty())
+                return;
+            const FuzzProc &p = procs_[rng_.below(procs_.size())];
+            if (p.isFunc)
+                return; // funcs appear inside expressions
+            os << indent << "call " << p.name << "(";
+            for (unsigned i = 0; i < p.nparams; ++i)
+                os << (i ? ", " : "") << expr(scope, 0);
+            os << ");\n";
+            return;
+          }
+          case 5: { // if / else
+            os << indent << "if " << expr(scope, 0) << " then\n";
+            emitBlockBody(os, scope, depth + 1, in_main);
+            if (rng_.chance(0.5)) {
+                os << indent << "else\n";
+                emitBlockBody(os, scope, depth + 1, in_main);
+            }
+            os << indent << "fi;\n";
+            return;
+          }
+          case 6: { // counted loop (terminating by construction)
+            std::string counter =
+                "lc" + std::to_string(counterId_++);
+            scope.push_back({counter, 0});
+            activeCounters_.push_back(counter);
+            switch (rng_.below(3)) {
+              case 0: // while countdown
+                os << indent << counter << " := "
+                   << 1 + rng_.below(cfg_.maxLoopTrips) << ";\n";
+                os << indent << "while " << counter << " > 0 do\n";
+                emitBlockBody(os, scope, depth + 1, in_main);
+                os << indent << "  " << counter << " := " << counter
+                   << " - 1;\n";
+                os << indent << "od;\n";
+                break;
+              case 1: // for with literal bounds
+                os << indent << "for " << counter << " := 1 to "
+                   << 1 + rng_.below(cfg_.maxLoopTrips) << " do\n";
+                emitBlockBody(os, scope, depth + 1, in_main);
+                os << indent << "od;\n";
+                break;
+              case 2: // repeat countup
+                os << indent << counter << " := 0;\n";
+                os << indent << "repeat\n";
+                emitBlockBody(os, scope, depth + 1, in_main);
+                os << indent << "  " << counter << " := " << counter
+                   << " + 1;\n";
+                os << indent << "until " << counter << " >= "
+                   << 1 + rng_.below(cfg_.maxLoopTrips) << ";\n";
+                break;
+            }
+            activeCounters_.pop_back();
+            return;
+          }
+          case 7: { // read
+            const FuzzVar *v = pickScalar(scope);
+            if (!v)
+                return;
+            os << indent << "read " << v->name << ";\n";
+            return;
+          }
+        }
+    }
+
+    std::string
+    expr(const std::vector<FuzzVar> &scope, unsigned depth)
+    {
+        if (depth >= cfg_.maxExprDepth)
+            return leaf(scope);
+
+        switch (rng_.below(10)) {
+          case 0:
+          case 1:
+          case 2:
+            return leaf(scope);
+          case 3: { // div/mod by a nonzero literal
+            const char *op = rng_.chance(0.5) ? "/" : "%";
+            return "(" + expr(scope, depth + 1) + " " + op + " " +
+                   std::to_string(rng_.range(1, 9)) + ")";
+          }
+          case 4: { // comparison
+            static const char *ops[] = {"=", "<>", "<", "<=", ">", ">="};
+            return "(" + expr(scope, depth + 1) + " " +
+                   ops[rng_.below(6)] + " " + expr(scope, depth + 1) +
+                   ")";
+          }
+          case 5: { // boolean
+            const char *op = rng_.chance(0.5) ? "and" : "or";
+            return "(" + expr(scope, depth + 1) + " " + op + " " +
+                   expr(scope, depth + 1) + ")";
+          }
+          case 6:
+            return rng_.chance(0.5) ?
+                "(-" + expr(scope, depth + 1) + ")" :
+                "(not " + expr(scope, depth + 1) + ")";
+          case 7: { // function call
+            for (const FuzzProc &p : procs_) {
+                if (!p.isFunc || !rng_.chance(0.4))
+                    continue;
+                std::string call = p.name + "(";
+                for (unsigned i = 0; i < p.nparams; ++i) {
+                    call += (i ? ", " : "") +
+                            expr(scope, depth + 1);
+                }
+                return call + ")";
+            }
+            return leaf(scope);
+          }
+          default: { // arithmetic
+            static const char *ops[] = {"+", "-", "*"};
+            return "(" + expr(scope, depth + 1) + " " +
+                   ops[rng_.below(3)] + " " + expr(scope, depth + 1) +
+                   ")";
+          }
+        }
+    }
+
+    std::string
+    leaf(const std::vector<FuzzVar> &scope)
+    {
+        if (rng_.chance(0.4))
+            return std::to_string(rng_.range(-99, 99));
+        const FuzzVar &v = scope[rng_.below(scope.size())];
+        if (v.arraySize > 0) {
+            // Constant index keeps leaves cheap but still exercises
+            // LOADI.
+            return v.name + "[" +
+                   std::to_string(rng_.below(v.arraySize)) + "]";
+        }
+        return v.name;
+    }
+
+    FuzzConfig cfg_;
+    Rng rng_;
+    std::vector<FuzzVar> globals_;
+    std::vector<FuzzProc> procs_;
+    std::vector<std::string> activeCounters_;
+    unsigned counterId_ = 0;
+};
+
+} // anonymous namespace
+
+std::string
+generateRandomContour(const FuzzConfig &config)
+{
+    Generator gen(config);
+    return gen.run();
+}
+
+} // namespace uhm::workload

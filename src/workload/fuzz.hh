@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random Contour program generation for differential testing.
+ *
+ * Programs are generated terminating-by-construction: every while loop
+ * counts a dedicated counter variable down from a small literal (the
+ * body never assigns that counter), procedure calls form an acyclic
+ * order, and division/modulo right-hand sides are nonzero literals.
+ * Everything else — expression shapes, scoping, arrays, functions,
+ * boolean operators, I/O — is drawn randomly, so the fuzz sweep
+ * exercises the compiler, the encodings, the machines and the direct
+ * HLR interpreter against each other on inputs no human wrote.
+ */
+
+#ifndef UHM_WORKLOAD_FUZZ_HH
+#define UHM_WORKLOAD_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uhm::workload
+{
+
+/** Knobs for the random program generator. */
+struct FuzzConfig
+{
+    uint64_t seed = 1;
+    /** Global scalar variables. */
+    unsigned numGlobals = 5;
+    /** Global arrays (each of a small random size). */
+    unsigned numArrays = 2;
+    /** Procedures (a mix of proc and func). */
+    unsigned numProcs = 3;
+    /** Statements per block body. */
+    unsigned stmtsPerBlock = 6;
+    /** Maximum statement nesting depth. */
+    unsigned maxStmtDepth = 3;
+    /** Maximum expression tree depth. */
+    unsigned maxExprDepth = 3;
+    /** Maximum loop trip count. */
+    unsigned maxLoopTrips = 8;
+};
+
+/** Generate a random, valid, terminating Contour program. */
+std::string generateRandomContour(const FuzzConfig &config);
+
+} // namespace uhm::workload
+
+#endif // UHM_WORKLOAD_FUZZ_HH

@@ -1,0 +1,379 @@
+#include "workload/samples.hh"
+
+#include "support/logging.hh"
+
+namespace uhm::workload
+{
+
+namespace
+{
+
+std::vector<SampleProgram>
+buildSamples()
+{
+    std::vector<SampleProgram> samples;
+
+    samples.push_back({"sieve", R"(
+program sieve;
+var flags[1000], n, i, j, count;
+begin
+  n := 1000;
+  i := 0;
+  while i < n do flags[i] := 1; i := i + 1; od;
+  flags[0] := 0;
+  flags[1] := 0;
+  i := 2;
+  while i * i < n do
+    if flags[i] = 1 then
+      j := i * i;
+      while j < n do flags[j] := 0; j := j + i; od;
+    fi;
+    i := i + 1;
+  od;
+  count := 0;
+  i := 0;
+  while i < n do count := count + flags[i]; i := i + 1; od;
+  write count;
+end.
+)", {}, {168}});
+
+    samples.push_back({"fib", R"(
+program fib;
+func fib(n);
+begin
+  if n < 2 then return n; fi;
+  return fib(n - 1) + fib(n - 2);
+end;
+begin
+  write fib(10);
+  write fib(15);
+end.
+)", {}, {55, 610}});
+
+    samples.push_back({"ack", R"(
+program ack;
+func ack(m, n);
+begin
+  if m = 0 then return n + 1; fi;
+  if n = 0 then return ack(m - 1, 1); fi;
+  return ack(m - 1, ack(m, n - 1));
+end;
+begin
+  write ack(2, 3);
+  write ack(3, 3);
+end.
+)", {}, {9, 61}});
+
+    samples.push_back({"gcd", R"(
+program gcd;
+func gcd(a, b);
+var t;
+begin
+  while b > 0 do
+    t := a % b;
+    a := b;
+    b := t;
+  od;
+  return a;
+end;
+begin
+  write gcd(1071, 462);
+  write gcd(123456, 7890);
+end.
+)", {}, {21, 6}});
+
+    samples.push_back({"collatz", R"(
+program collatz;
+var n, steps;
+begin
+  n := 27;
+  steps := 0;
+  while n <> 1 do
+    if n % 2 = 0 then n := n / 2; else n := 3 * n + 1; fi;
+    steps := steps + 1;
+  od;
+  write steps;
+end.
+)", {}, {111}});
+
+    samples.push_back({"power", R"(
+program power;
+func modpow(b, e, m);
+var r;
+begin
+  r := 1;
+  b := b % m;
+  while e > 0 do
+    if e % 2 = 1 then r := r * b % m; fi;
+    b := b * b % m;
+    e := e / 2;
+  od;
+  return r;
+end;
+begin
+  write modpow(7, 128, 1000);
+end.
+)", {}, {801}});
+
+    samples.push_back({"matmul", R"(
+program matmul;
+var a[64], b[64], c[64], i, j, k, s, n;
+begin
+  n := 8;
+  i := 0;
+  while i < 64 do
+    a[i] := i % 7 + 1;
+    b[i] := i % 5 + 1;
+    i := i + 1;
+  od;
+  i := 0;
+  while i < n do
+    j := 0;
+    while j < n do
+      s := 0;
+      k := 0;
+      while k < n do
+        s := s + a[i * n + k] * b[k * n + j];
+        k := k + 1;
+      od;
+      c[i * n + j] := s;
+      j := j + 1;
+    od;
+    i := i + 1;
+  od;
+  s := 0;
+  i := 0;
+  while i < 64 do s := s + c[i]; i := i + 1; od;
+  write s;
+end.
+)", {}, {}});
+
+    samples.push_back({"qsort", R"(
+program qsort;
+var a[200], n, i, j;
+proc swap(i, j);
+var t;
+begin
+  t := a[i];
+  a[i] := a[j];
+  a[j] := t;
+end;
+proc sort(lo, hi);
+var p, i, j;
+begin
+  if lo >= hi then return; fi;
+  p := a[hi];
+  i := lo;
+  j := lo;
+  while j < hi do
+    if a[j] < p then call swap(i, j); i := i + 1; fi;
+    j := j + 1;
+  od;
+  call swap(i, hi);
+  call sort(lo, i - 1);
+  call sort(i + 1, hi);
+end;
+begin
+  n := 200;
+  i := 0;
+  while i < n do a[i] := (i * 37 + 11) % 97; i := i + 1; od;
+  call sort(0, n - 1);
+  i := 0;
+  j := 1;
+  while i < n - 1 do
+    if a[i] > a[i + 1] then j := 0; fi;
+    i := i + 1;
+  od;
+  write j;
+  write a[0];
+  write a[199];
+end.
+)", {}, {}});
+
+    samples.push_back({"queens", R"(
+program queens;
+var n, count, cols[16], d1[32], d2[32];
+proc place(r);
+var c;
+begin
+  if r = n then count := count + 1; return; fi;
+  c := 0;
+  while c < n do
+    if cols[c] = 0 and d1[r + c] = 0 and d2[r - c + n] = 0 then
+      cols[c] := 1;
+      d1[r + c] := 1;
+      d2[r - c + n] := 1;
+      call place(r + 1);
+      cols[c] := 0;
+      d1[r + c] := 0;
+      d2[r - c + n] := 0;
+    fi;
+    c := c + 1;
+  od;
+end;
+begin
+  n := 6;
+  count := 0;
+  call place(0);
+  write count;
+end.
+)", {}, {4}});
+
+    samples.push_back({"nest", R"(
+program nest;
+var g, acc;
+proc outer(k);
+var u;
+func inner(m);
+var w;
+begin
+  w := m + u;
+  return w + g;
+end;
+begin
+  u := k * 3;
+  acc := acc + inner(k + 1);
+end;
+begin
+  g := 100;
+  acc := 0;
+  call outer(1);
+  call outer(2);
+  g := 200;
+  call outer(3);
+  write acc;
+end.
+)", {}, {427}});
+
+    samples.push_back({"echo", R"(
+program echo;
+var n, i, v, sum;
+begin
+  read n;
+  sum := 0;
+  i := 0;
+  while i < n do
+    read v;
+    sum := sum + v;
+    write v * 2;
+    i := i + 1;
+  od;
+  write sum;
+end.
+)", {3, 5, 7, 9}, {10, 14, 18, 21}});
+
+    samples.push_back({"hanoi", R"(
+program hanoi;
+var moves;
+proc move(n, src, dst, via);
+begin
+  if n > 0 then
+    call move(n - 1, src, via, dst);
+    moves := moves + 1;
+    call move(n - 1, via, dst, src);
+  fi;
+end;
+begin
+  moves := 0;
+  call move(10, 1, 3, 2);
+  write moves;
+end.
+)", {}, {1023}});
+
+    samples.push_back({"tak", R"(
+program tak;
+func tak(x, y, z);
+begin
+  if y < x then
+    return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+  fi;
+  return z;
+end;
+begin
+  write tak(18, 12, 6);
+end.
+)", {}, {7}});
+
+    samples.push_back({"bsearch", R"(
+program bsearch;
+var a[128], size, i, hits;
+func find(key);
+var lo, hi, mid;
+begin
+  lo := 0;
+  hi := size - 1;
+  while lo <= hi do
+    mid := (lo + hi) / 2;
+    if a[mid] = key then return mid; fi;
+    if a[mid] < key then lo := mid + 1; else hi := mid - 1; fi;
+  od;
+  return -1;
+end;
+begin
+  size := 128;
+  # a[i] = 3 i + 1: sorted, with gaps of 3.
+  i := 0;
+  while i < size do a[i] := 3 * i + 1; i := i + 1; od;
+  # Probe every value in [0, 3 size); exactly size are present.
+  hits := 0;
+  i := 0;
+  while i < 3 * size do
+    if find(i) >= 0 then hits := hits + 1; fi;
+    i := i + 1;
+  od;
+  write hits;
+end.
+)", {}, {128}});
+
+    samples.push_back({"adler", R"(
+program adler;
+const mult = 31, modp = 65521, rounds = 200;
+var h, i;
+func mix(acc, v);
+begin
+  return (acc * mult + v) % modp;
+end;
+begin
+  h := 1;
+  i := 0;
+  repeat
+    h := mix(h, i * i + 7);
+    i := i + 1;
+  until i >= rounds;
+  for i := 1 to 5 do
+    h := mix(h, i);
+  od;
+  write h;
+end.
+)", {}, {}});
+
+    // qsort: a holds each residue of (37 i + 11) mod 97 for 200 i's; 37
+    // is coprime to 97 so the minimum residue is 0 and the maximum 96.
+    for (SampleProgram &s : samples) {
+        if (s.name == "qsort")
+            s.expected = {1, 0, 96};
+    }
+
+    return samples;
+}
+
+} // anonymous namespace
+
+const std::vector<SampleProgram> &
+samplePrograms()
+{
+    static const std::vector<SampleProgram> samples = buildSamples();
+    return samples;
+}
+
+const SampleProgram &
+sampleByName(const std::string &name)
+{
+    for (const SampleProgram &s : samplePrograms()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("unknown sample program '%s'", name.c_str());
+}
+
+} // namespace uhm::workload

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sample Contour programs.
+ *
+ * The measurement workloads: classic kernels (sieve, sorting, matrix
+ * multiply), recursion-heavy programs (fib, ackermann, queens) that
+ * exercise the contour machinery, and scope/I-O demos. Each carries its
+ * input vector and, where the result is a well-known constant, the
+ * expected output for absolute (non-differential) anchoring.
+ */
+
+#ifndef UHM_WORKLOAD_SAMPLES_HH
+#define UHM_WORKLOAD_SAMPLES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhm::workload
+{
+
+/** One sample program. */
+struct SampleProgram
+{
+    /** Short identifier, e.g. "sieve". */
+    std::string name;
+    /** Contour source text. */
+    std::string source;
+    /** Input consumed by 'read'. */
+    std::vector<int64_t> input;
+    /** Expected output when independently known; empty otherwise. */
+    std::vector<int64_t> expected;
+};
+
+/** All sample programs. */
+const std::vector<SampleProgram> &samplePrograms();
+
+/** Look up a sample by name (fatal if absent). */
+const SampleProgram &sampleByName(const std::string &name);
+
+} // namespace uhm::workload
+
+#endif // UHM_WORKLOAD_SAMPLES_HH

@@ -1,0 +1,220 @@
+#include "workload/synthetic.hh"
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace uhm::workload
+{
+
+namespace
+{
+
+/** Emits random straight-line, stack-balanced body instructions. */
+class BodyGen
+{
+  public:
+    BodyGen(DirProgram &prog, Rng &rng, const SyntheticConfig &cfg)
+        : prog_(prog), rng_(rng), cfg_(cfg)
+    {}
+
+    /** Emit roughly @p count instructions, ending at stack depth 0. */
+    void
+    emitBody(uint32_t count)
+    {
+        for (uint32_t i = 0; i < count; ++i)
+            emitOne();
+        while (depth_ > 0) {
+            if (rng_.chance(0.5))
+                emit({Op::STOREL, 0, dataSlot()});
+            else
+                emit({Op::DROP});
+            --depth_;
+        }
+    }
+
+  private:
+    int64_t
+    dataSlot()
+    {
+        // Slots 0 and 1 are loop counters; the body uses the rest.
+        return 2 + static_cast<int64_t>(rng_.below(cfg_.numGlobals - 2));
+    }
+
+    void
+    emit(DirInstruction ins)
+    {
+        prog_.instrs.push_back(ins);
+        prog_.contourOf.push_back(0);
+    }
+
+    void
+    emitOne()
+    {
+        if (rng_.chance(cfg_.semworkDensity)) {
+            emit({Op::SEMWORK,
+                  static_cast<int64_t>(rng_.below(cfg_.semworkWeight + 1))});
+            return;
+        }
+        // Pick an action valid at the current stack depth.
+        for (;;) {
+            switch (rng_.below(12)) {
+              case 0:
+                emit({Op::PUSHC, rng_.range(-100, 100)});
+                ++depth_;
+                return;
+              case 1:
+                emit({Op::PUSHL, 0, dataSlot()});
+                ++depth_;
+                return;
+              case 2: {
+                if (depth_ < 2)
+                    break;
+                static const Op binops[] = {
+                    Op::ADD, Op::SUB, Op::MUL, Op::AND, Op::OR, Op::XOR,
+                    Op::EQ, Op::NE, Op::LT, Op::LE, Op::GT, Op::GE,
+                };
+                emit({binops[rng_.below(std::size(binops))]});
+                --depth_;
+                return;
+              }
+              case 3:
+                if (depth_ < 1)
+                    break;
+                emit({Op::STOREL, 0, dataSlot()});
+                --depth_;
+                return;
+              case 4:
+                if (depth_ < 1)
+                    break;
+                emit({rng_.chance(0.5) ? Op::NEG : Op::NOT});
+                return;
+              case 5:
+                if (depth_ < 1 || depth_ > 6)
+                    break;
+                emit({Op::DUP});
+                ++depth_;
+                return;
+              case 6:
+                if (depth_ < 2)
+                    break;
+                emit({Op::SWAP});
+                return;
+              case 7:
+                if (depth_ < 1)
+                    break;
+                // Division by a known-nonzero constant.
+                emit({Op::PUSHC, rng_.range(1, 16)});
+                emit({rng_.chance(0.5) ? Op::DIV : Op::MOD});
+                return;
+              case 8:
+                // Indirect load of a global through ADDR.
+                emit({Op::ADDR, 0, dataSlot()});
+                emit({Op::LOADI});
+                ++depth_;
+                return;
+              case 9:
+                if (depth_ < 1)
+                    break;
+                // Indirect store of the top of stack.
+                emit({Op::ADDR, 0, dataSlot()});
+                emit({Op::STOREI});
+                --depth_;
+                return;
+              case 10:
+                if (depth_ < 1)
+                    break;
+                emit({Op::DROP});
+                --depth_;
+                return;
+              case 11:
+                // Shift by a small known amount.
+                if (depth_ < 1)
+                    break;
+                emit({Op::PUSHC, rng_.range(0, 7)});
+                emit({rng_.chance(0.5) ? Op::SHL : Op::SHR});
+                return;
+            }
+        }
+    }
+
+    DirProgram &prog_;
+    Rng &rng_;
+    const SyntheticConfig &cfg_;
+    int depth_ = 0;
+};
+
+} // anonymous namespace
+
+DirProgram
+generateSynthetic(const SyntheticConfig &cfg)
+{
+    uhm_assert(cfg.numGlobals >= 3, "need at least 3 globals");
+    uhm_assert(cfg.numLoops >= 1, "need at least one loop");
+
+    Rng rng(cfg.seed);
+    DirProgram prog;
+    prog.name = "synthetic";
+    prog.numGlobals = cfg.numGlobals;
+
+    Contour main_ctr;
+    main_ctr.name = "<main>";
+    main_ctr.depth = 1;
+    main_ctr.slotsAtDepth = {cfg.numGlobals, 0};
+    prog.contours.push_back(main_ctr);
+
+    auto emit = [&](DirInstruction ins) {
+        prog.instrs.push_back(ins);
+        prog.contourOf.push_back(0);
+        return prog.instrs.size() - 1;
+    };
+    auto patch = [&](size_t at) {
+        prog.instrs[at].operands[0] =
+            static_cast<int64_t>(prog.instrs.size());
+    };
+
+    prog.entry = emit({Op::ENTER, 1, 0, 0});
+    prog.contours[0].entry = prog.entry;
+
+    // Outer repeat loop: global slot 0 counts down.
+    emit({Op::PUSHC, cfg.outerRepeats});
+    emit({Op::STOREL, 0, 0});
+    size_t outer_top = prog.instrs.size();
+    emit({Op::PUSHL, 0, 0});
+    size_t outer_jz = emit({Op::JZ, 0});
+
+    BodyGen body(prog, rng, cfg);
+    for (uint32_t l = 0; l < cfg.numLoops; ++l) {
+        // Inner loop: global slot 1 counts down.
+        emit({Op::PUSHC, cfg.iterations});
+        emit({Op::STOREL, 0, 1});
+        size_t top = prog.instrs.size();
+        emit({Op::PUSHL, 0, 1});
+        size_t jz = emit({Op::JZ, 0});
+        body.emitBody(cfg.bodyInstrs);
+        emit({Op::PUSHL, 0, 1});
+        emit({Op::PUSHC, 1});
+        emit({Op::SUB});
+        emit({Op::STOREL, 0, 1});
+        emit({Op::JMP, static_cast<int64_t>(top)});
+        patch(jz);
+    }
+
+    emit({Op::PUSHL, 0, 0});
+    emit({Op::PUSHC, 1});
+    emit({Op::SUB});
+    emit({Op::STOREL, 0, 0});
+    emit({Op::JMP, static_cast<int64_t>(outer_top)});
+    patch(outer_jz);
+
+    // Checksum: write a few data globals.
+    for (int64_t slot = 2; slot < 6 && slot < cfg.numGlobals; ++slot) {
+        emit({Op::PUSHL, 0, slot});
+        emit({Op::WRITE});
+    }
+    emit({Op::HALT});
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace uhm::workload

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the section-7 analytic model, anchored digit-for-digit to
+ * the paper's printed Tables 2 and 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/model.hh"
+
+namespace uhm::analytic
+{
+namespace
+{
+
+// ---- the paper's printed grids, verbatim -----------------------------------
+
+/** Table 2 of the paper: rows d = 10, 20, 30; cols x = 5..30. */
+constexpr double paperTable2Values[3][6] = {
+    {37.65, 29.09, 23.70, 20.00, 17.30, 15.24},
+    {59.05, 47.69, 40.00, 34.44, 30.24, 26.96},
+    {73.60, 61.33, 52.57, 46.00, 40.89, 36.80},
+};
+
+/** Table 3 of the paper. */
+constexpr double paperTable3Values[3][6] = {
+    {78.82, 60.91, 49.63, 41.88, 36.22, 31.90},
+    {92.38, 74.62, 62.58, 53.89, 47.32, 42.17},
+    {101.60, 84.67, 72.57, 63.50, 56.44, 50.80},
+};
+
+TEST(PaperTables, Table2ReproducedToTwoDecimals)
+{
+    const auto &ds = paperDGrid();
+    const auto &xs = paperXGrid();
+    for (size_t i = 0; i < ds.size(); ++i) {
+        for (size_t j = 0; j < xs.size(); ++j) {
+            EXPECT_NEAR(paperTable2(ds[i], xs[j]),
+                        paperTable2Values[i][j], 0.006)
+                << "d=" << ds[i] << " x=" << xs[j];
+        }
+    }
+}
+
+TEST(PaperTables, Table3ReproducedToTwoDecimals)
+{
+    const auto &ds = paperDGrid();
+    const auto &xs = paperXGrid();
+    for (size_t i = 0; i < ds.size(); ++i) {
+        for (size_t j = 0; j < xs.size(); ++j) {
+            EXPECT_NEAR(paperTable3(ds[i], xs[j]),
+                        paperTable3Values[i][j], 0.006)
+                << "d=" << ds[i] << " x=" << xs[j];
+        }
+    }
+}
+
+TEST(PaperTables, GridsMatchThePaper)
+{
+    EXPECT_EQ(paperDGrid(), (std::vector<double>{10, 20, 30}));
+    EXPECT_EQ(paperXGrid(), (std::vector<double>{5, 10, 15, 20, 25, 30}));
+}
+
+// ---- the section-7 expressions ---------------------------------------------
+
+TEST(Model, T1AtPaperOperatingPoint)
+{
+    ModelParams p; // defaults are the paper's values, d=10, x=5
+    EXPECT_DOUBLE_EQ(t1(p), 10 + 10 + 5);
+}
+
+TEST(Model, T2Components)
+{
+    ModelParams p;
+    // 3*2 + 0.2*10 + 0.2*(10+15) + 5 = 6 + 2 + 5 + 5.
+    EXPECT_DOUBLE_EQ(t2(p), 18.0);
+}
+
+TEST(Model, T3Components)
+{
+    ModelParams p;
+    // 0.9*1*2 + 0.1*1*10 + 10 + 5 = 1.8 + 1 + 15.
+    EXPECT_DOUBLE_EQ(t3(p), 17.8);
+}
+
+TEST(Model, PerfectDtbEliminatesFetchAndDecode)
+{
+    ModelParams p;
+    p.hD = 1.0;
+    // With unity hit ratio only s1*tauD + x remain.
+    EXPECT_DOUBLE_EQ(t2(p), p.s1 * p.tauD + p.x);
+}
+
+TEST(Model, PerfectCacheStillPaysDecode)
+{
+    ModelParams p;
+    p.hc = 1.0;
+    EXPECT_DOUBLE_EQ(t3(p), p.s2 * p.tauD + p.d + p.x);
+}
+
+TEST(Model, F2PositiveAcrossPaperGrid)
+{
+    // "The DTB does have the potential to improve performance
+    // significantly": T1 > T2 everywhere on the grid.
+    for (double d : paperDGrid()) {
+        for (double x : paperXGrid()) {
+            ModelParams p;
+            p.d = d;
+            p.g = 1.5 * d;
+            p.x = x;
+            EXPECT_GT(f2(p), 0.0) << "d=" << d << " x=" << x;
+        }
+    }
+}
+
+TEST(Model, FiguresOfMeritDecreaseWithX)
+{
+    // "the figures-of-merit decrease ... as x increases."
+    for (double d : paperDGrid()) {
+        double prev2 = 1e9, prev3 = 1e9;
+        for (double x : paperXGrid()) {
+            double v2 = paperTable2(d, x);
+            double v3 = paperTable3(d, x);
+            EXPECT_LT(v2, prev2);
+            EXPECT_LT(v3, prev3);
+            prev2 = v2;
+            prev3 = v3;
+        }
+    }
+}
+
+TEST(Model, FiguresOfMeritDecreaseAsDDecreases)
+{
+    // "...as d decreases" (i.e. they increase with d).
+    for (double x : paperXGrid()) {
+        EXPECT_LT(paperTable2(10, x), paperTable2(20, x));
+        EXPECT_LT(paperTable2(20, x), paperTable2(30, x));
+        EXPECT_LT(paperTable3(10, x), paperTable3(20, x));
+        EXPECT_LT(paperTable3(20, x), paperTable3(30, x));
+    }
+}
+
+TEST(Model, DtbUnattractiveWhenDecodingTrivial)
+{
+    // "the DTB is not particularly effective if the task of decoding is
+    // trivial or if the time spent in the semantic routines is much
+    // greater": with d ~ 0 and huge x the benefit vanishes.
+    ModelParams p;
+    p.d = 1;
+    p.g = 1.5;
+    p.x = 200;
+    EXPECT_LT(f2(p), 3.0);
+}
+
+TEST(Model, VectorMachineRegime)
+{
+    // Machines "with vector instructions which are heavily used" have
+    // enormous x; both figures of merit collapse.
+    EXPECT_LT(paperTable2(10, 1000), 1.0);
+    EXPECT_LT(paperTable3(10, 1000), 2.0);
+}
+
+} // anonymous namespace
+} // namespace uhm::analytic

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the DIR assembler: parsing, error handling, and exact
+ * round-tripping of compiled and synthetic programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dir/asm.hh"
+#include "hlr/compiler.hh"
+#include "support/logging.hh"
+#include "uhm/machine.hh"
+#include "workload/samples.hh"
+#include "workload/synthetic.hh"
+
+namespace uhm
+{
+namespace
+{
+
+const char *tinyAsm = R"(
+; a small hand-written DIR program: writes 1 + 2
+.program tiny
+.globals 1
+
+.entry start
+.in <main>
+start:
+    ENTER 1 0 0
+    PUSHC 1
+    PUSHC 2
+    ADD
+    STOREL 0 0
+    PUSHL 0 0
+    WRITE
+    HALT
+)";
+
+TEST(DirAsm, ParsesHandWrittenProgram)
+{
+    DirProgram prog = parseDirAssembly(tinyAsm);
+    EXPECT_EQ(prog.name, "tiny");
+    EXPECT_EQ(prog.numGlobals, 1u);
+    EXPECT_EQ(prog.size(), 8u);
+    EXPECT_EQ(prog.instrs[0].op, Op::ENTER);
+    EXPECT_EQ(prog.instrs.back().op, Op::HALT);
+}
+
+TEST(DirAsm, HandWrittenProgramRuns)
+{
+    DirProgram prog = parseDirAssembly(tinyAsm);
+    MachineConfig cfg;
+    cfg.kind = MachineKind::Dtb;
+    EXPECT_EQ(runProgram(prog, EncodingScheme::Huffman, cfg).output,
+              std::vector<int64_t>{3});
+}
+
+TEST(DirAsm, LabelsAndBranchesResolve)
+{
+    DirProgram prog = parseDirAssembly(R"(
+.program branchy
+.globals 1
+.in <main>
+    ENTER 1 0 0
+    PUSHC 3
+    STOREL 0 0
+top:
+    PUSHL 0 0
+    JZ done
+    PUSHL 0 0
+    WRITE
+    PUSHL 0 0
+    PUSHC 1
+    SUB
+    STOREL 0 0
+    JMP top
+done:
+    HALT
+)");
+    MachineConfig cfg;
+    cfg.kind = MachineKind::Conventional;
+    EXPECT_EQ(runProgram(prog, EncodingScheme::Packed, cfg).output,
+              (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(DirAsm, ProceduresByName)
+{
+    DirProgram prog = parseDirAssembly(R"(
+.program withproc
+.globals 1
+.proc double parent=<main> locals=1 params=1
+.in double
+    ENTER 2 1 1
+    PUSHL 2 0
+    PUSHC 2
+    MUL
+    RET 2 1
+.in <main>
+main:
+    ENTER 1 0 0
+    PUSHC 21
+    CALLP double
+    WRITE
+    HALT
+.entry main
+)");
+    EXPECT_EQ(prog.entry, prog.contours[0].entry);
+    MachineConfig cfg;
+    cfg.kind = MachineKind::Dtb;
+    EXPECT_EQ(runProgram(prog, EncodingScheme::Huffman, cfg).output,
+              std::vector<int64_t>{42});
+}
+
+TEST(DirAsm, ErrorsCarryLineNumbers)
+{
+    try {
+        parseDirAssembly(".program p\n.globals 1\n.in <main>\nBOGUS\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(DirAsm, UnknownLabelIsFatal)
+{
+    EXPECT_THROW(parseDirAssembly(
+        ".globals 1\n.in <main>\nENTER 1 0 0\nJMP nowhere\nHALT\n"),
+        FatalError);
+}
+
+TEST(DirAsm, WrongArityIsFatal)
+{
+    EXPECT_THROW(parseDirAssembly(
+        ".globals 1\n.in <main>\nPUSHC 1 2\nHALT\n"), FatalError);
+}
+
+TEST(DirAsm, DuplicateLabelIsFatal)
+{
+    EXPECT_THROW(parseDirAssembly(
+        ".globals 1\n.in <main>\nx:\nENTER 1 0 0\nx:\nHALT\n"),
+        FatalError);
+}
+
+TEST(DirAsm, EmptyProgramIsFatal)
+{
+    EXPECT_THROW(parseDirAssembly("; nothing here\n"), FatalError);
+}
+
+TEST(DirAsm, ContourWithoutCodeIsFatal)
+{
+    EXPECT_THROW(parseDirAssembly(
+        ".globals 0\n.proc p parent=<main> locals=0 params=0\n"
+        ".in <main>\nHALT\n"), FatalError);
+}
+
+/** Round-trip every sample program and a synthetic one exactly. */
+class AsmRoundTrip : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(AsmRoundTrip, ReparseReproducesProgram)
+{
+    DirProgram original;
+    if (std::string(GetParam()) == "synthetic") {
+        workload::SyntheticConfig cfg;
+        cfg.seed = 77;
+        original = workload::generateSynthetic(cfg);
+    } else {
+        original = hlr::compileSource(
+            workload::sampleByName(GetParam()).source);
+    }
+
+    DirProgram reparsed = parseDirAssembly(toDirAssembly(original));
+
+    ASSERT_EQ(reparsed.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(reparsed.instrs[i], original.instrs[i]) << "at " << i;
+        EXPECT_EQ(reparsed.contourOf[i], original.contourOf[i]);
+    }
+    EXPECT_EQ(reparsed.entry, original.entry);
+    EXPECT_EQ(reparsed.numGlobals, original.numGlobals);
+    ASSERT_EQ(reparsed.contours.size(), original.contours.size());
+    for (size_t c = 0; c < original.contours.size(); ++c) {
+        EXPECT_EQ(reparsed.contours[c].depth,
+                  original.contours[c].depth);
+        EXPECT_EQ(reparsed.contours[c].nlocals,
+                  original.contours[c].nlocals);
+        EXPECT_EQ(reparsed.contours[c].nparams,
+                  original.contours[c].nparams);
+        EXPECT_EQ(reparsed.contours[c].entry,
+                  original.contours[c].entry);
+        EXPECT_EQ(reparsed.contours[c].slotsAtDepth,
+                  original.contours[c].slotsAtDepth);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, AsmRoundTrip,
+                         ::testing::Values("sieve", "fib", "ack", "gcd",
+                                           "collatz", "power", "matmul",
+                                           "qsort", "queens", "nest",
+                                           "echo", "hanoi", "tak",
+                                           "bsearch", "adler",
+                                           "synthetic"));
+
+TEST(DirAsm, RoundTrippedProgramExecutesIdentically)
+{
+    const auto &sample = workload::sampleByName("qsort");
+    DirProgram original = hlr::compileSource(sample.source);
+    DirProgram reparsed = parseDirAssembly(toDirAssembly(original));
+    MachineConfig cfg;
+    cfg.kind = MachineKind::Dtb;
+    EXPECT_EQ(runProgram(original, EncodingScheme::Huffman, cfg).output,
+              runProgram(reparsed, EncodingScheme::Huffman, cfg).output);
+}
+
+} // anonymous namespace
+} // namespace uhm

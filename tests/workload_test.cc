@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the workload module: sample-program integrity and the
+ * synthetic DIR generator's determinism, validity and locality knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hlr/compiler.hh"
+#include "support/logging.hh"
+#include "uhm/machine.hh"
+#include "workload/samples.hh"
+#include "workload/synthetic.hh"
+
+namespace uhm::workload
+{
+namespace
+{
+
+// ---- samples ---------------------------------------------------------------
+
+TEST(Samples, AtLeastTenDistinctPrograms)
+{
+    const auto &samples = samplePrograms();
+    EXPECT_GE(samples.size(), 10u);
+    std::set<std::string> names;
+    for (const auto &s : samples) {
+        EXPECT_FALSE(s.name.empty());
+        EXPECT_FALSE(s.source.empty());
+        names.insert(s.name);
+    }
+    EXPECT_EQ(names.size(), samples.size());
+}
+
+TEST(Samples, LookupByNameWorksAndUnknownIsFatal)
+{
+    EXPECT_EQ(sampleByName("sieve").name, "sieve");
+    EXPECT_THROW(sampleByName("no-such-sample"), FatalError);
+}
+
+TEST(Samples, ExpectedOutputsAreDeclaredForAnchors)
+{
+    for (const char *name : {"sieve", "fib", "ack", "gcd", "collatz",
+                             "queens", "nest"}) {
+        EXPECT_FALSE(sampleByName(name).expected.empty()) << name;
+    }
+}
+
+// ---- synthetic generator ---------------------------------------------------
+
+TEST(Synthetic, ValidatesAndIsDeterministic)
+{
+    SyntheticConfig cfg;
+    cfg.seed = 7;
+    DirProgram a = generateSynthetic(cfg);
+    DirProgram b = generateSynthetic(cfg);
+    EXPECT_EQ(a.instrs.size(), b.instrs.size());
+    for (size_t i = 0; i < a.instrs.size(); ++i)
+        EXPECT_EQ(a.instrs[i], b.instrs[i]);
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentBodies)
+{
+    SyntheticConfig cfg;
+    cfg.seed = 1;
+    DirProgram a = generateSynthetic(cfg);
+    cfg.seed = 2;
+    DirProgram b = generateSynthetic(cfg);
+    bool differs = a.instrs.size() != b.instrs.size();
+    for (size_t i = 0; !differs && i < a.instrs.size(); ++i)
+        differs = !(a.instrs[i] == b.instrs[i]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, SizeScalesWithKnobs)
+{
+    SyntheticConfig small_cfg;
+    small_cfg.numLoops = 2;
+    small_cfg.bodyInstrs = 10;
+    SyntheticConfig big_cfg;
+    big_cfg.numLoops = 16;
+    big_cfg.bodyInstrs = 60;
+    EXPECT_LT(generateSynthetic(small_cfg).size() * 5,
+              generateSynthetic(big_cfg).size());
+}
+
+TEST(Synthetic, RunsIdenticallyOnAllMachineKinds)
+{
+    SyntheticConfig cfg;
+    cfg.numLoops = 3;
+    cfg.iterations = 20;
+    cfg.seed = 77;
+    DirProgram prog = generateSynthetic(cfg);
+
+    std::vector<std::vector<int64_t>> outputs;
+    for (MachineKind kind : {MachineKind::Conventional,
+                             MachineKind::Cached, MachineKind::Dtb}) {
+        MachineConfig mc;
+        mc.kind = kind;
+        outputs.push_back(
+            runProgram(prog, EncodingScheme::Huffman, mc).output);
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(Synthetic, OutputIndependentOfEncoding)
+{
+    SyntheticConfig cfg;
+    cfg.seed = 123;
+    cfg.iterations = 10;
+    DirProgram prog = generateSynthetic(cfg);
+    MachineConfig mc;
+    mc.kind = MachineKind::Dtb;
+    std::vector<int64_t> reference =
+        runProgram(prog, EncodingScheme::Expanded, mc).output;
+    for (EncodingScheme scheme : allEncodingSchemes())
+        EXPECT_EQ(runProgram(prog, scheme, mc).output, reference);
+}
+
+TEST(Synthetic, WorkingSetSizeControlsDtbHitRatio)
+{
+    // A body that fits in the DTB re-hits every iteration; a much
+    // larger instruction working set cycles through and thrashes.
+    SyntheticConfig tight;
+    tight.numLoops = 1;
+    tight.bodyInstrs = 30;
+    tight.iterations = 200;
+    tight.seed = 5;
+
+    SyntheticConfig sprawling;
+    sprawling.numLoops = 40;
+    sprawling.bodyInstrs = 60;
+    sprawling.iterations = 2;
+    sprawling.outerRepeats = 10;
+    sprawling.seed = 5;
+
+    MachineConfig mc;
+    mc.kind = MachineKind::Dtb;
+    mc.dtb.capacityBytes = 2048;
+
+    RunResult tight_run = runProgram(
+        generateSynthetic(tight), EncodingScheme::Huffman, mc);
+    RunResult sprawl_run = runProgram(
+        generateSynthetic(sprawling), EncodingScheme::Huffman, mc);
+    EXPECT_GT(tight_run.dtbHitRatio, 0.95);
+    EXPECT_LT(sprawl_run.dtbHitRatio, tight_run.dtbHitRatio - 0.05);
+}
+
+TEST(Synthetic, SemworkKnobRaisesMeasuredX)
+{
+    SyntheticConfig lean;
+    lean.semworkDensity = 0.0;
+    lean.iterations = 30;
+    lean.seed = 9;
+    SyntheticConfig heavy = lean;
+    heavy.semworkDensity = 0.5;
+    heavy.semworkWeight = 20;
+
+    MachineConfig mc;
+    mc.kind = MachineKind::Conventional;
+    RunResult lean_run = runProgram(
+        generateSynthetic(lean), EncodingScheme::Packed, mc);
+    RunResult heavy_run = runProgram(
+        generateSynthetic(heavy), EncodingScheme::Packed, mc);
+    EXPECT_GT(heavy_run.measuredX, lean_run.measuredX * 1.5);
+}
+
+TEST(Synthetic, RejectsDegenerateConfigs)
+{
+    SyntheticConfig cfg;
+    cfg.numGlobals = 2;
+    EXPECT_THROW(generateSynthetic(cfg), PanicError);
+    cfg = SyntheticConfig{};
+    cfg.numLoops = 0;
+    EXPECT_THROW(generateSynthetic(cfg), PanicError);
+}
+
+} // anonymous namespace
+} // namespace uhm::workload
