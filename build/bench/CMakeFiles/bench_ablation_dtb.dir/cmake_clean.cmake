@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dtb.dir/bench_ablation_dtb.cc.o"
+  "CMakeFiles/bench_ablation_dtb.dir/bench_ablation_dtb.cc.o.d"
+  "bench_ablation_dtb"
+  "bench_ablation_dtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoding_compaction.dir/bench_encoding_compaction.cc.o"
+  "CMakeFiles/bench_encoding_compaction.dir/bench_encoding_compaction.cc.o.d"
+  "bench_encoding_compaction"
+  "bench_encoding_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoding_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

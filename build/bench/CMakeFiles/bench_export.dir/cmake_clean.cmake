@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_export.dir/bench_export.cc.o"
+  "CMakeFiles/bench_export.dir/bench_export.cc.o.d"
+  "bench_export"
+  "bench_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

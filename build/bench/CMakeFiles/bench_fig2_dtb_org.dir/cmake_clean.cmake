@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dtb_org.dir/bench_fig2_dtb_org.cc.o"
+  "CMakeFiles/bench_fig2_dtb_org.dir/bench_fig2_dtb_org.cc.o.d"
+  "bench_fig2_dtb_org"
+  "bench_fig2_dtb_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dtb_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

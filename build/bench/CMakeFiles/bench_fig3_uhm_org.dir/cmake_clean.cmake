@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_uhm_org.dir/bench_fig3_uhm_org.cc.o"
+  "CMakeFiles/bench_fig3_uhm_org.dir/bench_fig3_uhm_org.cc.o.d"
+  "bench_fig3_uhm_org"
+  "bench_fig3_uhm_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_uhm_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_interp_flow.dir/bench_fig4_interp_flow.cc.o"
+  "CMakeFiles/bench_fig4_interp_flow.dir/bench_fig4_interp_flow.cc.o.d"
+  "bench_fig4_interp_flow"
+  "bench_fig4_interp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_interp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

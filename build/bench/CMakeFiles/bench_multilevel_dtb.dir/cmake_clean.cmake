@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilevel_dtb.dir/bench_multilevel_dtb.cc.o"
+  "CMakeFiles/bench_multilevel_dtb.dir/bench_multilevel_dtb.cc.o.d"
+  "bench_multilevel_dtb"
+  "bench_multilevel_dtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilevel_dtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

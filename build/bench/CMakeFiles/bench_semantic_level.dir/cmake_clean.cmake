@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantic_level.dir/bench_semantic_level.cc.o"
+  "CMakeFiles/bench_semantic_level.dir/bench_semantic_level.cc.o.d"
+  "bench_semantic_level"
+  "bench_semantic_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantic_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

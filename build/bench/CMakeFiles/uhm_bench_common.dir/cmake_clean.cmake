@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/uhm_bench_common.dir/bench_common.cc.o.d"
+  "libuhm_bench_common.a"
+  "libuhm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

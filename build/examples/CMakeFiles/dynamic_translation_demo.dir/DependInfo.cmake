@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_translation_demo.cpp" "examples/CMakeFiles/dynamic_translation_demo.dir/dynamic_translation_demo.cpp.o" "gcc" "examples/CMakeFiles/dynamic_translation_demo.dir/dynamic_translation_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytic/CMakeFiles/uhm_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uhm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/uhm_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlr/CMakeFiles/uhm_hlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uhm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/psder/CMakeFiles/uhm_psder.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uhm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/uhm/CMakeFiles/uhm_uhm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uhm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

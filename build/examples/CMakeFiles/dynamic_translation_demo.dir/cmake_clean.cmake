@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_translation_demo.dir/dynamic_translation_demo.cpp.o"
+  "CMakeFiles/dynamic_translation_demo.dir/dynamic_translation_demo.cpp.o.d"
+  "dynamic_translation_demo"
+  "dynamic_translation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_translation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_cli.dir/uhm_cli.cpp.o"
+  "CMakeFiles/uhm_cli.dir/uhm_cli.cpp.o.d"
+  "uhm_cli"
+  "uhm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compiler_explorer "/root/repo/build/examples/compiler_explorer" "nest")
+set_tests_properties(example_compiler_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_translation "/root/repo/build/examples/dynamic_translation_demo" "fib")
+set_tests_properties(example_dynamic_translation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_sample "/root/repo/build/examples/uhm_cli" "sieve" "--machine=dtb2")
+set_tests_properties(example_cli_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_file "/root/repo/build/examples/uhm_cli" "/root/repo/examples/programs/stats.ctr" "--input=3,10,20,30" "--machine=cached" "--encoding=quantized")
+set_tests_properties(example_cli_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_mandelbrot "/root/repo/build/examples/uhm_cli" "/root/repo/examples/programs/mandelbrot.ctr" "--stats")
+set_tests_properties(example_cli_mandelbrot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_dir_assembly "/root/repo/build/examples/uhm_cli" "/root/repo/examples/programs/countdown.dira")
+set_tests_properties(example_cli_dir_assembly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

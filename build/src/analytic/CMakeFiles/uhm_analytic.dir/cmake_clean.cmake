@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_analytic.dir/model.cc.o"
+  "CMakeFiles/uhm_analytic.dir/model.cc.o.d"
+  "libuhm_analytic.a"
+  "libuhm_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

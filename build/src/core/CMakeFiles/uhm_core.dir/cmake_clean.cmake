@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_core.dir/dtb.cc.o"
+  "CMakeFiles/uhm_core.dir/dtb.cc.o.d"
+  "CMakeFiles/uhm_core.dir/trace_sim.cc.o"
+  "CMakeFiles/uhm_core.dir/trace_sim.cc.o.d"
+  "libuhm_core.a"
+  "libuhm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

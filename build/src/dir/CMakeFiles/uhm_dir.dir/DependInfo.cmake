@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dir/asm.cc" "src/dir/CMakeFiles/uhm_dir.dir/asm.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/asm.cc.o.d"
+  "/root/repo/src/dir/enc_contextual.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_contextual.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_contextual.cc.o.d"
+  "/root/repo/src/dir/enc_expanded.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_expanded.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_expanded.cc.o.d"
+  "/root/repo/src/dir/enc_huffman.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_huffman.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_huffman.cc.o.d"
+  "/root/repo/src/dir/enc_huffman_common.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_huffman_common.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_huffman_common.cc.o.d"
+  "/root/repo/src/dir/enc_packed.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_packed.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_packed.cc.o.d"
+  "/root/repo/src/dir/enc_pair_huffman.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_pair_huffman.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_pair_huffman.cc.o.d"
+  "/root/repo/src/dir/enc_quantized.cc" "src/dir/CMakeFiles/uhm_dir.dir/enc_quantized.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/enc_quantized.cc.o.d"
+  "/root/repo/src/dir/encoding.cc" "src/dir/CMakeFiles/uhm_dir.dir/encoding.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/encoding.cc.o.d"
+  "/root/repo/src/dir/fusion.cc" "src/dir/CMakeFiles/uhm_dir.dir/fusion.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/fusion.cc.o.d"
+  "/root/repo/src/dir/isa.cc" "src/dir/CMakeFiles/uhm_dir.dir/isa.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/isa.cc.o.d"
+  "/root/repo/src/dir/program.cc" "src/dir/CMakeFiles/uhm_dir.dir/program.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/program.cc.o.d"
+  "/root/repo/src/dir/serialize.cc" "src/dir/CMakeFiles/uhm_dir.dir/serialize.cc.o" "gcc" "src/dir/CMakeFiles/uhm_dir.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/uhm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_dir.dir/asm.cc.o"
+  "CMakeFiles/uhm_dir.dir/asm.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_contextual.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_contextual.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_expanded.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_expanded.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_huffman.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_huffman.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_huffman_common.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_huffman_common.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_packed.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_packed.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_pair_huffman.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_pair_huffman.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/enc_quantized.cc.o"
+  "CMakeFiles/uhm_dir.dir/enc_quantized.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/encoding.cc.o"
+  "CMakeFiles/uhm_dir.dir/encoding.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/fusion.cc.o"
+  "CMakeFiles/uhm_dir.dir/fusion.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/isa.cc.o"
+  "CMakeFiles/uhm_dir.dir/isa.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/program.cc.o"
+  "CMakeFiles/uhm_dir.dir/program.cc.o.d"
+  "CMakeFiles/uhm_dir.dir/serialize.cc.o"
+  "CMakeFiles/uhm_dir.dir/serialize.cc.o.d"
+  "libuhm_dir.a"
+  "libuhm_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

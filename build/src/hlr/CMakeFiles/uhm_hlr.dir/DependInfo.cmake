@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hlr/compiler.cc" "src/hlr/CMakeFiles/uhm_hlr.dir/compiler.cc.o" "gcc" "src/hlr/CMakeFiles/uhm_hlr.dir/compiler.cc.o.d"
+  "/root/repo/src/hlr/interp.cc" "src/hlr/CMakeFiles/uhm_hlr.dir/interp.cc.o" "gcc" "src/hlr/CMakeFiles/uhm_hlr.dir/interp.cc.o.d"
+  "/root/repo/src/hlr/lexer.cc" "src/hlr/CMakeFiles/uhm_hlr.dir/lexer.cc.o" "gcc" "src/hlr/CMakeFiles/uhm_hlr.dir/lexer.cc.o.d"
+  "/root/repo/src/hlr/parser.cc" "src/hlr/CMakeFiles/uhm_hlr.dir/parser.cc.o" "gcc" "src/hlr/CMakeFiles/uhm_hlr.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dir/CMakeFiles/uhm_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uhm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

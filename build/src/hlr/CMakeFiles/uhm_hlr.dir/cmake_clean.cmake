@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_hlr.dir/compiler.cc.o"
+  "CMakeFiles/uhm_hlr.dir/compiler.cc.o.d"
+  "CMakeFiles/uhm_hlr.dir/interp.cc.o"
+  "CMakeFiles/uhm_hlr.dir/interp.cc.o.d"
+  "CMakeFiles/uhm_hlr.dir/lexer.cc.o"
+  "CMakeFiles/uhm_hlr.dir/lexer.cc.o.d"
+  "CMakeFiles/uhm_hlr.dir/parser.cc.o"
+  "CMakeFiles/uhm_hlr.dir/parser.cc.o.d"
+  "libuhm_hlr.a"
+  "libuhm_hlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_hlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuhm_hlr.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for uhm_hlr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_mem.dir/cache.cc.o"
+  "CMakeFiles/uhm_mem.dir/cache.cc.o.d"
+  "CMakeFiles/uhm_mem.dir/replacement.cc.o"
+  "CMakeFiles/uhm_mem.dir/replacement.cc.o.d"
+  "libuhm_mem.a"
+  "libuhm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

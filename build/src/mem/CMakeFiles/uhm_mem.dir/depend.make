@@ -1,0 +1,2 @@
+# Empty dependencies file for uhm_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psder/micro_asm.cc" "src/psder/CMakeFiles/uhm_psder.dir/micro_asm.cc.o" "gcc" "src/psder/CMakeFiles/uhm_psder.dir/micro_asm.cc.o.d"
+  "/root/repo/src/psder/micro_isa.cc" "src/psder/CMakeFiles/uhm_psder.dir/micro_isa.cc.o" "gcc" "src/psder/CMakeFiles/uhm_psder.dir/micro_isa.cc.o.d"
+  "/root/repo/src/psder/routines.cc" "src/psder/CMakeFiles/uhm_psder.dir/routines.cc.o" "gcc" "src/psder/CMakeFiles/uhm_psder.dir/routines.cc.o.d"
+  "/root/repo/src/psder/short_isa.cc" "src/psder/CMakeFiles/uhm_psder.dir/short_isa.cc.o" "gcc" "src/psder/CMakeFiles/uhm_psder.dir/short_isa.cc.o.d"
+  "/root/repo/src/psder/staging.cc" "src/psder/CMakeFiles/uhm_psder.dir/staging.cc.o" "gcc" "src/psder/CMakeFiles/uhm_psder.dir/staging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dir/CMakeFiles/uhm_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uhm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

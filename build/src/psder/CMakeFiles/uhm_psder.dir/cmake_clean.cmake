@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_psder.dir/micro_asm.cc.o"
+  "CMakeFiles/uhm_psder.dir/micro_asm.cc.o.d"
+  "CMakeFiles/uhm_psder.dir/micro_isa.cc.o"
+  "CMakeFiles/uhm_psder.dir/micro_isa.cc.o.d"
+  "CMakeFiles/uhm_psder.dir/routines.cc.o"
+  "CMakeFiles/uhm_psder.dir/routines.cc.o.d"
+  "CMakeFiles/uhm_psder.dir/short_isa.cc.o"
+  "CMakeFiles/uhm_psder.dir/short_isa.cc.o.d"
+  "CMakeFiles/uhm_psder.dir/staging.cc.o"
+  "CMakeFiles/uhm_psder.dir/staging.cc.o.d"
+  "libuhm_psder.a"
+  "libuhm_psder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_psder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_support.dir/bitstream.cc.o"
+  "CMakeFiles/uhm_support.dir/bitstream.cc.o.d"
+  "CMakeFiles/uhm_support.dir/huffman.cc.o"
+  "CMakeFiles/uhm_support.dir/huffman.cc.o.d"
+  "CMakeFiles/uhm_support.dir/logging.cc.o"
+  "CMakeFiles/uhm_support.dir/logging.cc.o.d"
+  "CMakeFiles/uhm_support.dir/stats.cc.o"
+  "CMakeFiles/uhm_support.dir/stats.cc.o.d"
+  "CMakeFiles/uhm_support.dir/table.cc.o"
+  "CMakeFiles/uhm_support.dir/table.cc.o.d"
+  "libuhm_support.a"
+  "libuhm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

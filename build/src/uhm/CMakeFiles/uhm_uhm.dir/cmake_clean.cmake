@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_uhm.dir/machine.cc.o"
+  "CMakeFiles/uhm_uhm.dir/machine.cc.o.d"
+  "libuhm_uhm.a"
+  "libuhm_uhm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_uhm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

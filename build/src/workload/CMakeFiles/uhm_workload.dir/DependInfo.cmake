@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fuzz.cc" "src/workload/CMakeFiles/uhm_workload.dir/fuzz.cc.o" "gcc" "src/workload/CMakeFiles/uhm_workload.dir/fuzz.cc.o.d"
+  "/root/repo/src/workload/samples.cc" "src/workload/CMakeFiles/uhm_workload.dir/samples.cc.o" "gcc" "src/workload/CMakeFiles/uhm_workload.dir/samples.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/uhm_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/uhm_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dir/CMakeFiles/uhm_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uhm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_workload.dir/fuzz.cc.o"
+  "CMakeFiles/uhm_workload.dir/fuzz.cc.o.d"
+  "CMakeFiles/uhm_workload.dir/samples.cc.o"
+  "CMakeFiles/uhm_workload.dir/samples.cc.o.d"
+  "CMakeFiles/uhm_workload.dir/synthetic.cc.o"
+  "CMakeFiles/uhm_workload.dir/synthetic.cc.o.d"
+  "libuhm_workload.a"
+  "libuhm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

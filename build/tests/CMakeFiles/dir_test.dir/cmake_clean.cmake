@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_test.dir/dir_test.cc.o"
+  "CMakeFiles/dir_test.dir/dir_test.cc.o.d"
+  "dir_test"
+  "dir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlr_test.dir/hlr_test.cc.o"
+  "CMakeFiles/hlr_test.dir/hlr_test.cc.o.d"
+  "hlr_test"
+  "hlr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psder_test.dir/psder_test.cc.o"
+  "CMakeFiles/psder_test.dir/psder_test.cc.o.d"
+  "psder_test"
+  "psder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

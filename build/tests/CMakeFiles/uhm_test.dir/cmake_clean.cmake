@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhm_test.dir/uhm_test.cc.o"
+  "CMakeFiles/uhm_test.dir/uhm_test.cc.o.d"
+  "uhm_test"
+  "uhm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
