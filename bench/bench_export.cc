@@ -3,17 +3,28 @@
  * Machine-readable export of the reproduction's key result series.
  *
  * Emits one JSON document on stdout containing the paper grids, the
- * measured F1/F2 points, the Figure 2 sweeps, the compaction ratios
- * and the amortization curve, so plots and downstream analyses can be
- * built without scraping the text tables. Deterministic byte-for-byte.
+ * measured F1/F2 points, the Figure 2 sweeps, the compaction ratios,
+ * the amortization curve and per-program profile reports, so plots and
+ * downstream analyses can be built without scraping the text tables.
+ * Deterministic byte-for-byte.
+ *
+ * Usage: bench_export [sidecar.jsonl]
+ * With an argument, additionally writes the profile reports as a JSONL
+ * sidecar (one meta/phases/counters/ratios/trace_summary block per
+ * program × machine kind; format in docs/INTERNALS.md).
  */
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hh"
 #include "dir/fusion.hh"
+#include "obs/report.hh"
 #include "support/json.hh"
+#include "support/logging.hh"
+#include "uhm/profile.hh"
 
 using namespace uhm;
 using namespace uhm::bench;
@@ -167,11 +178,54 @@ exportSemanticLevel(JsonWriter &jw)
     jw.endArray();
 }
 
+/**
+ * Per-program, per-organization profile reports: the observability
+ * layer's view of the runs every other section measures. Embedded in
+ * the main document and, when @p sidecar is non-null, appended to it
+ * as JSONL blocks.
+ */
+void
+exportProfiles(JsonWriter &jw, std::string *sidecar)
+{
+    jw.key("profiles").beginArray();
+    for (const char *name : {"sieve", "fib", "qsort"}) {
+        const auto &sample = workload::sampleByName(name);
+        DirProgram prog = hlr::compileSource(sample.source);
+        auto image = encodeDir(prog, EncodingScheme::Huffman);
+        for (MachineKind kind : {MachineKind::Conventional,
+                                 MachineKind::Cached,
+                                 MachineKind::Dtb}) {
+            Machine machine(*image, makeConfig(kind));
+            RunResult r = machine.run(sample.input);
+            ProfileMeta meta;
+            meta.program = name;
+            meta.machine = machineKindName(kind);
+            meta.encoding = encodingName(EncodingScheme::Huffman);
+            meta.imageBits = image->bitSize();
+            obs::ProfileData profile = buildProfile(meta, r);
+            obs::writeJson(jw, profile);
+            if (sidecar)
+                *sidecar += obs::toJsonl(profile);
+        }
+    }
+    jw.endArray();
+}
+
 } // anonymous namespace
 
 int
-main()
-{
+main(int argc, char **argv)
+try {
+    std::string sidecar;
+    bool want_sidecar = argc > 1;
+    std::ofstream sidecar_out;
+    if (want_sidecar) {
+        // Open up front: fail before the benchmarks run, not after.
+        sidecar_out.open(argv[1]);
+        if (!sidecar_out)
+            fatal("cannot open '%s'", argv[1]);
+    }
+
     JsonWriter jw;
     jw.beginObject();
     jw.key("reproduction").value(
@@ -189,8 +243,15 @@ main()
     exportCompaction(jw);
     exportAmortization(jw);
     exportSemanticLevel(jw);
+    exportProfiles(jw, want_sidecar ? &sidecar : nullptr);
 
     jw.endObject();
     std::printf("%s\n", jw.str().c_str());
+
+    if (want_sidecar)
+        sidecar_out << sidecar;
     return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

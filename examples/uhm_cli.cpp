@@ -18,6 +18,11 @@
  *   --emit-bin=<file>      write the binary DIR form and exit
  *   --stats                print the full counter set after the run
  *   --trace                print the INTERP event trace (DTB kinds)
+ *   --profile[=<file>]     emit a JSONL profile report (phases,
+ *                          counters, ratios) to <file>, or to stderr
+ *                          when no file is given; combined with
+ *                          --trace the report also carries typed event
+ *                          lines. Format: docs/INTERNALS.md
  *
  * The program argument may be a sample name, a Contour source file, a
  * DIR assembly file (.dira) or a DIR binary (.dirb).
@@ -38,6 +43,7 @@
 #include "hlr/compiler.hh"
 #include "support/logging.hh"
 #include "uhm/machine.hh"
+#include "uhm/profile.hh"
 #include "workload/samples.hh"
 
 namespace
@@ -55,6 +61,9 @@ struct Options
     bool disasm = false;
     bool stats = false;
     bool trace = false;
+    bool profile = false;
+    /** Profile destination; "-" = stderr. */
+    std::string profilePath = "-";
     std::string emitAsm;
     std::string emitBin;
 };
@@ -126,6 +135,12 @@ parseArgs(int argc, char **argv)
             opts.stats = true;
         else if (arg == "--trace")
             opts.trace = true;
+        else if (arg == "--profile")
+            opts.profile = true;
+        else if (arg.rfind("--profile=", 0) == 0) {
+            opts.profile = true;
+            opts.profilePath = value("--profile=");
+        }
         else if (arg.rfind("--", 0) == 0)
             uhm::fatal("unknown option '%s'", arg.c_str());
         else
@@ -206,6 +221,9 @@ try {
     cfg.icache.capacityBytes = opts.dtbBytes;
     cfg.icache.assoc = opts.assoc;
     cfg.traceEvents = opts.trace;
+    // The bounded typed-event ring rides along only when the user also
+    // asked for tracing; the counter/phase report alone stays small.
+    cfg.profileEvents = opts.profile && opts.trace;
 
     uhm::Machine machine(*image, cfg);
     uhm::RunResult r = machine.run(opts.input);
@@ -243,6 +261,23 @@ try {
                      static_cast<unsigned long long>(
                          r.breakdown.translate));
         std::fputs(r.stats.toString().c_str(), stderr);
+    }
+    if (opts.profile) {
+        uhm::ProfileMeta meta;
+        meta.program = opts.program;
+        meta.machine = uhm::machineKindName(opts.kind);
+        meta.encoding = uhm::encodingName(opts.scheme);
+        meta.imageBits = image->bitSize();
+        std::string doc = uhm::profileJsonl(meta, r);
+        if (opts.profilePath == "-") {
+            std::fputs(doc.c_str(), stderr);
+        } else {
+            std::ofstream out(opts.profilePath);
+            if (!out)
+                uhm::fatal("cannot open '%s'",
+                           opts.profilePath.c_str());
+            out << doc;
+        }
     }
     if (opts.trace) {
         size_t shown = 0;

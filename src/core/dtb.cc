@@ -8,10 +8,18 @@ namespace uhm
 Dtb::Dtb(const DtbConfig &config) : config_(config), rng_(config.seed)
 {
     uhm_assert(config.unitShortInstrs >= 1, "unit of allocation empty");
-    uint64_t unit_bytes =
-        config.unitShortInstrs * shortInstrBits / 8;
+    // Round the unit size *up* to whole bytes: flooring would undersize
+    // the unit whenever unitShortInstrs * shortInstrBits is not
+    // byte-aligned, silently overcommitting the buffer array.
+    uint64_t unit_bits =
+        uint64_t{config.unitShortInstrs} * shortInstrBits;
+    uint64_t unit_bytes = (unit_bits + 7) / 8;
+    uhm_assert(unit_bytes * 8 >= unit_bits,
+               "unit of allocation cannot hold its instructions");
     uint64_t total_units = config.capacityBytes / unit_bytes;
     uhm_assert(total_units >= 1, "DTB smaller than one unit");
+    uhm_assert(total_units * unit_bytes <= config.capacityBytes,
+               "allocation units exceed buffer-array capacity");
 
     overflowTotal_ = config.allowOverflow ?
         static_cast<uint64_t>(
@@ -62,7 +70,7 @@ Dtb::lookup(uint64_t dir_addr)
     return {};
 }
 
-bool
+Dtb::InsertOutcome
 Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
 {
     unsigned units_needed = static_cast<unsigned>(
@@ -72,9 +80,12 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
         units_needed = 1;
     unsigned overflow_needed = units_needed - 1;
 
+    InsertOutcome out;
+    out.unitsNeeded = units_needed;
+
     if (overflow_needed > 0 && !config_.allowOverflow) {
-        stats_.add("dtb_rejects");
-        return false;
+        ++rejects_;
+        return out;
     }
 
     uint64_t set = setOf(dir_addr);
@@ -88,20 +99,33 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
             break;
         }
     }
+    Entry *victim = nullptr;
     if (way == assoc_) {
         way = repl_[set].victim();
-        evict(set_entries[way]);
-        stats_.add("dtb_evictions");
+        victim = &set_entries[way];
     }
 
-    if (overflow_needed > overflowFree_) {
-        // The secondary area cannot supply the increments; do not retain
-        // the translation. (The primary way stays invalid/evicted.)
-        stats_.add("dtb_rejects");
-        return false;
+    // Reserve overflow increments before evicting anything. The blocks
+    // a valid victim would release count toward the supply, but if the
+    // area still cannot cover the translation, the resident — possibly
+    // hot — victim must survive. (Evicting first and rejecting after
+    // destroyed a retained translation for nothing.)
+    uint64_t victim_release =
+        victim && victim->valid && victim->units > 1 ?
+        victim->units - 1 : 0;
+    if (overflow_needed > overflowFree_ + victim_release) {
+        ++rejects_;
+        return out;
+    }
+
+    if (victim) {
+        out.evicted = victim->valid;
+        out.victimTag = victim->tag;
+        evict(*victim);
+        ++evictions_;
     }
     overflowFree_ -= overflow_needed;
-    stats_.add("dtb_overflow_blocks", overflow_needed);
+    overflowBlocks_ += overflow_needed;
 
     Entry &e = set_entries[way];
     e.tag = dir_addr;
@@ -109,8 +133,33 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     e.code = std::move(code);
     e.units = units_needed;
     repl_[set].fill(way);
-    stats_.add("dtb_inserts");
-    return true;
+    ++inserts_;
+    out.retained = true;
+    return out;
+}
+
+StatSet
+Dtb::stats() const
+{
+    StatSet set;
+    set.add("dtb_inserts", inserts_.value());
+    set.add("dtb_evictions", evictions_.value());
+    set.add("dtb_rejects", rejects_.value());
+    set.add("dtb_overflow_blocks", overflowBlocks_.value());
+    return set;
+}
+
+void
+Dtb::registerCounters(obs::Registry &registry,
+                      const std::string &prefix) const
+{
+    registry.add(obs::joinName(prefix, "hits"), hits_);
+    registry.add(obs::joinName(prefix, "misses"), misses_);
+    registry.add(obs::joinName(prefix, "inserts"), inserts_);
+    registry.add(obs::joinName(prefix, "evictions"), evictions_);
+    registry.add(obs::joinName(prefix, "rejects"), rejects_);
+    registry.add(obs::joinName(prefix, "overflow_blocks"),
+                 overflowBlocks_);
 }
 
 void

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "mem/replacement.hh"
+#include "obs/counter.hh"
+#include "obs/registry.hh"
 #include "psder/short_isa.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
@@ -79,15 +81,30 @@ class Dtb
      */
     LookupResult lookup(uint64_t dir_addr);
 
+    /** What Dtb::insert did, for callers that trace or account. */
+    struct InsertOutcome
+    {
+        /** The translation is now resident. */
+        bool retained = false;
+        /** A resident entry was destroyed to make room. */
+        bool evicted = false;
+        /** DIR tag of the destroyed entry (when evicted). */
+        uint64_t victimTag = 0;
+        /** Buffer units the new translation needs. */
+        unsigned unitsNeeded = 1;
+    };
+
     /**
      * Install the translation of @p dir_addr, replacing the set's
      * least-recently-used entry. Mirrors Figure 4: the replacement logic
      * picks the location, the tag is stored, and the translation is
-     * written into the buffer array.
-     * @return true if retained; false if the overflow area could not
-     *         supply the needed increments
+     * written into the buffer array. Overflow increments are reserved
+     * *before* the victim is evicted: when the overflow area (counting
+     * the blocks the victim would release) cannot supply the needed
+     * increments, the translation is rejected and the resident —
+     * possibly hot — victim survives untouched.
      */
-    bool insert(uint64_t dir_addr, std::vector<ShortInstr> code);
+    InsertOutcome insert(uint64_t dir_addr, std::vector<ShortInstr> code);
 
     /** Invalidate every entry (e.g. program image replaced). */
     void invalidateAll();
@@ -95,16 +112,17 @@ class Dtb
     /** The set index @p dir_addr hashes to. */
     uint64_t setOf(uint64_t dir_addr) const;
 
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
 
     /** Hit ratio so far (the paper's h_D); 1.0 before any access. */
     double
     hitRatio() const
     {
-        uint64_t total = hits_ + misses_;
+        uint64_t total = hits_.value() + misses_.value();
         return total == 0 ? 1.0 :
-            static_cast<double>(hits_) / static_cast<double>(total);
+            static_cast<double>(hits_.value()) /
+            static_cast<double>(total);
     }
 
     /** Number of primary entries (address-array size). */
@@ -122,17 +140,34 @@ class Dtb
     /** Total overflow blocks. */
     uint64_t overflowTotal() const { return overflowTotal_; }
 
-    /** Counters: dtb_evictions, dtb_overflow_blocks, dtb_rejects, ... */
-    const StatSet &stats() const { return stats_; }
+    /**
+     * Legacy counter view: dtb_evictions, dtb_overflow_blocks,
+     * dtb_rejects, dtb_inserts. Kept for existing benches and tests;
+     * new code reads the same counters through registerCounters().
+     */
+    StatSet stats() const;
+
+    /**
+     * Publish this DTB's counters into @p registry under
+     * "<prefix>.hits", "<prefix>.misses", "<prefix>.inserts",
+     * "<prefix>.evictions", "<prefix>.rejects",
+     * "<prefix>.overflow_blocks".
+     */
+    void registerCounters(obs::Registry &registry,
+                          const std::string &prefix) const;
 
     const DtbConfig &config() const { return config_; }
 
-    /** Reset hit/miss counters (contents retained). */
+    /** Reset all counters (contents retained). */
     void
     resetStats()
     {
-        hits_ = misses_ = 0;
-        stats_.clear();
+        hits_.reset();
+        misses_.reset();
+        inserts_.reset();
+        evictions_.reset();
+        rejects_.reset();
+        overflowBlocks_.reset();
     }
 
   private:
@@ -159,9 +194,13 @@ class Dtb
     /** entries_[set * assoc_ + way]. */
     std::vector<Entry> entries_;
     std::vector<ReplacementSet> repl_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    StatSet stats_;
+    obs::Counter hits_;
+    obs::Counter misses_;
+    obs::Counter inserts_;
+    obs::Counter evictions_;
+    obs::Counter rejects_;
+    /** Overflow increments handed out over the DTB's lifetime. */
+    obs::Counter overflowBlocks_;
 };
 
 } // namespace uhm

@@ -16,8 +16,9 @@
 #include <vector>
 
 #include "mem/replacement.hh"
+#include "obs/counter.hh"
+#include "obs/registry.hh"
 #include "support/rng.hh"
-#include "support/stats.hh"
 
 namespace uhm
 {
@@ -51,16 +52,26 @@ class SetAssocCache
     /** Invalidate everything. */
     void flush();
 
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
 
     /** Hit ratio so far (1.0 when no accesses yet). */
     double
     hitRatio() const
     {
-        uint64_t total = hits_ + misses_;
+        uint64_t total = hits_.value() + misses_.value();
         return total == 0 ? 1.0 :
-            static_cast<double>(hits_) / static_cast<double>(total);
+            static_cast<double>(hits_.value()) /
+            static_cast<double>(total);
+    }
+
+    /** Publish "<prefix>.hits" / "<prefix>.misses" into @p registry. */
+    void
+    registerCounters(obs::Registry &registry,
+                     const std::string &prefix) const
+    {
+        registry.add(obs::joinName(prefix, "hits"), hits_);
+        registry.add(obs::joinName(prefix, "misses"), misses_);
     }
 
     /** Number of sets. */
@@ -75,7 +86,8 @@ class SetAssocCache
     void
     resetStats()
     {
-        hits_ = misses_ = 0;
+        hits_.reset();
+        misses_.reset();
     }
 
   private:
@@ -92,8 +104,8 @@ class SetAssocCache
     /** lines_[set * assoc_ + way]. */
     std::vector<Line> lines_;
     std::vector<ReplacementSet> repl_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    obs::Counter hits_;
+    obs::Counter misses_;
 };
 
 } // namespace uhm

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "mem/timing.hh"
+#include "obs/counter.hh"
+#include "obs/registry.hh"
 #include "support/stats.hh"
 
 namespace uhm
@@ -80,15 +82,37 @@ class MainMemory
     /** Size of the fast level in words. */
     uint64_t level1Words() const { return level1Words_; }
 
-    /** Access counters: mem_level1_accesses, mem_level2_accesses. */
-    const StatSet &stats() const { return stats_; }
+    /**
+     * Legacy counter view: mem_level1_accesses, mem_level2_accesses.
+     * New code reads the same counters through registerCounters().
+     */
+    StatSet
+    stats() const
+    {
+        StatSet set;
+        set.add("mem_level1_accesses", level1Accesses_.value());
+        set.add("mem_level2_accesses", level2Accesses_.value());
+        return set;
+    }
+
+    /** Publish "<prefix>.level1_accesses" / "<prefix>.level2_accesses". */
+    void
+    registerCounters(obs::Registry &registry,
+                     const std::string &prefix) const
+    {
+        registry.add(obs::joinName(prefix, "level1_accesses"),
+                     level1Accesses_);
+        registry.add(obs::joinName(prefix, "level2_accesses"),
+                     level2Accesses_);
+    }
 
     /** Reset cycle and access counters (not contents). */
     void
     resetStats()
     {
         cycles_ = 0;
-        stats_.clear();
+        level1Accesses_.reset();
+        level2Accesses_.reset();
     }
 
   private:
@@ -97,10 +121,10 @@ class MainMemory
     {
         if (addr < level1Words_) {
             cycles_ += timing_.tau1;
-            stats_.add("mem_level1_accesses");
+            ++level1Accesses_;
         } else {
             cycles_ += timing_.tau2;
-            stats_.add("mem_level2_accesses");
+            ++level2Accesses_;
         }
     }
 
@@ -108,7 +132,8 @@ class MainMemory
     uint64_t level1Words_;
     MemTiming timing_;
     uint64_t cycles_ = 0;
-    StatSet stats_;
+    obs::Counter level1Accesses_;
+    obs::Counter level2Accesses_;
 };
 
 } // namespace uhm

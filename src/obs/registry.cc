@@ -1,0 +1,72 @@
+#include "obs/registry.hh"
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace uhm::obs
+{
+
+std::string
+joinName(const std::string &prefix, const std::string &leaf)
+{
+    return prefix.empty() ? leaf : prefix + "." + leaf;
+}
+
+void
+Registry::add(const std::string &name, const Counter &counter)
+{
+    uhm_assert(!name.empty(), "counter registered with empty name");
+    auto [it, inserted] = counters_.emplace(name, &counter);
+    (void)it;
+    uhm_assert(inserted, "duplicate counter '%s'", name.c_str());
+}
+
+uint64_t
+Registry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::map<std::string, uint64_t>
+Registry::snapshot() const
+{
+    std::map<std::string, uint64_t> values;
+    for (const auto &kv : counters_)
+        values.emplace(kv.first, kv.second->value());
+    return values;
+}
+
+uint64_t
+Registry::total(const std::string &prefix) const
+{
+    uint64_t sum = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end(); ++it) {
+        const std::string &name = it->first;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (name.size() == prefix.size() ||
+            name[prefix.size()] == '.') {
+            sum += it->second->value();
+        }
+    }
+    return sum;
+}
+
+void
+Registry::writeJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    for (const auto &kv : counters_)
+        jw.key(kv.first).value(kv.second->value());
+    jw.endObject();
+}
+
+} // namespace uhm::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The counters registry: one namespace for every counter in a machine.
+ *
+ * Components (DTB, instruction cache, memory, the machine's execution
+ * loops) own their obs::Counter members and register them here under
+ * hierarchical dotted names — "dtb.hits", "icache.misses",
+ * "machine.dir_instrs" — so benches, the CLI's --profile mode and tests
+ * read one uniform, machine-readable view of where the events went.
+ * The registry holds non-owning pointers: reading it is always a live
+ * snapshot, and registration happens once at construction time, never
+ * on a hot path.
+ */
+
+#ifndef UHM_OBS_REGISTRY_HH
+#define UHM_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/counter.hh"
+
+namespace uhm
+{
+class JsonWriter;
+}
+
+namespace uhm::obs
+{
+
+/** Join a hierarchical prefix and a leaf name: "dtb" + "hits". */
+std::string joinName(const std::string &prefix, const std::string &leaf);
+
+/** A named, hierarchical view over externally-owned counters. */
+class Registry
+{
+  public:
+    /**
+     * Publish @p counter under @p name. The counter must outlive the
+     * registry. Registering two counters under one name is an internal
+     * error (panics).
+     */
+    void add(const std::string &name, const Counter &counter);
+
+    /** Current value of the counter named @p name; 0 if absent. */
+    uint64_t get(const std::string &name) const;
+
+    /** True if a counter is registered under @p name. */
+    bool contains(const std::string &name) const;
+
+    /** Number of registered counters. */
+    size_t size() const { return counters_.size(); }
+
+    /** Materialize every counter's current value, sorted by name. */
+    std::map<std::string, uint64_t> snapshot() const;
+
+    /**
+     * Sum of every counter whose name starts with "<prefix>." (or
+     * equals @p prefix): totals for a whole component.
+     */
+    uint64_t total(const std::string &prefix) const;
+
+    /** Emit one flat JSON object: {"dtb.hits": 12, ...}. */
+    void writeJson(JsonWriter &jw) const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+};
+
+} // namespace uhm::obs
+
+#endif // UHM_OBS_REGISTRY_HH

@@ -1,0 +1,125 @@
+#include "obs/report.hh"
+
+#include "support/json.hh"
+
+namespace uhm::obs
+{
+
+namespace
+{
+
+void
+writeEvent(JsonWriter &jw, const Event &e)
+{
+    jw.beginObject();
+    jw.key("type").value("event");
+    jw.key("cycle").value(e.cycle);
+    jw.key("kind").value(eventKindName(e.kind));
+    jw.key("addr").value(e.addr);
+    jw.key("arg").value(e.arg);
+    jw.endObject();
+}
+
+void
+writeMeta(JsonWriter &jw, const ProfileData &p)
+{
+    jw.key("type").value("meta");
+    for (const auto &kv : p.meta)
+        jw.key(kv.first).value(kv.second);
+}
+
+void
+writePhases(JsonWriter &jw, const ProfileData &p)
+{
+    jw.key("type").value("phases");
+    for (const auto &kv : p.phases)
+        jw.key(kv.first).value(kv.second);
+}
+
+void
+writeCounters(JsonWriter &jw, const ProfileData &p)
+{
+    jw.key("type").value("counters");
+    for (const auto &kv : p.counters)
+        jw.key(kv.first).value(kv.second);
+}
+
+void
+writeRatios(JsonWriter &jw, const ProfileData &p)
+{
+    jw.key("type").value("ratios");
+    for (const auto &kv : p.ratios)
+        jw.key(kv.first).value(kv.second);
+}
+
+void
+writeTraceSummary(JsonWriter &jw, const ProfileData &p)
+{
+    jw.key("type").value("trace_summary");
+    jw.key("retained").value(static_cast<uint64_t>(p.events.size()));
+    jw.key("seen").value(p.eventsSeen);
+    jw.key("dropped").value(p.eventsDropped);
+}
+
+} // anonymous namespace
+
+std::string
+toJsonl(const ProfileData &profile)
+{
+    std::string out;
+    auto line = [&out](auto &&fill) {
+        JsonWriter jw;
+        jw.beginObject();
+        fill(jw);
+        jw.endObject();
+        out += jw.str();
+        out += '\n';
+    };
+    line([&](JsonWriter &jw) { writeMeta(jw, profile); });
+    line([&](JsonWriter &jw) { writePhases(jw, profile); });
+    line([&](JsonWriter &jw) { writeCounters(jw, profile); });
+    line([&](JsonWriter &jw) { writeRatios(jw, profile); });
+    line([&](JsonWriter &jw) { writeTraceSummary(jw, profile); });
+    out += eventsToJsonl(profile.events);
+    return out;
+}
+
+void
+writeJson(JsonWriter &jw, const ProfileData &profile)
+{
+    jw.beginObject();
+    jw.key("meta").beginObject();
+    for (const auto &kv : profile.meta)
+        jw.key(kv.first).value(kv.second);
+    jw.endObject();
+    jw.key("phases").beginObject();
+    for (const auto &kv : profile.phases)
+        jw.key(kv.first).value(kv.second);
+    jw.endObject();
+    jw.key("counters").beginObject();
+    for (const auto &kv : profile.counters)
+        jw.key(kv.first).value(kv.second);
+    jw.endObject();
+    jw.key("ratios").beginObject();
+    for (const auto &kv : profile.ratios)
+        jw.key(kv.first).value(kv.second);
+    jw.endObject();
+    jw.key("events_seen").value(profile.eventsSeen);
+    jw.key("events_dropped").value(profile.eventsDropped);
+    jw.endObject();
+}
+
+std::string
+eventsToJsonl(const std::vector<Event> &events)
+{
+    std::string out;
+    for (const Event &e : events) {
+        JsonWriter jw;
+        writeEvent(jw, e);
+        out += jw.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace uhm::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Profile reports: the machine-readable sidecar of a run.
+ *
+ * A ProfileData bundles everything the section 7 analysis needs to be
+ * checked from outside the process — per-phase cycle buckets, the full
+ * counter snapshot, derived ratios (hit ratios, translation
+ * amplification) and the retained event trace — and renders it either
+ * as JSONL (one self-describing object per line: meta, phases,
+ * counters, ratios, trace_summary, then events) or as a single JSON
+ * object for embedding inside a larger export document. The JSONL form
+ * is what `uhm_cli --profile` and the bench sidecars emit; its format
+ * is documented in docs/INTERNALS.md.
+ */
+
+#ifndef UHM_OBS_REPORT_HH
+#define UHM_OBS_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace uhm
+{
+class JsonWriter;
+}
+
+namespace uhm::obs
+{
+
+/** Everything one profile report contains, in emission order. */
+struct ProfileData
+{
+    /** Free-form identification: program, machine kind, encoding, ... */
+    std::vector<std::pair<std::string, std::string>> meta;
+    /** Cycle buckets (fetch, decode, ..., total), in display order. */
+    std::vector<std::pair<std::string, uint64_t>> phases;
+    /** Hierarchical counter snapshot ("dtb.hits" -> 12). */
+    std::map<std::string, uint64_t> counters;
+    /** Derived ratios (hit ratios, amplification), in display order. */
+    std::vector<std::pair<std::string, double>> ratios;
+    /** Retained events (may be empty when tracing was off). */
+    std::vector<Event> events;
+    /** Events recorded in total, including dropped ones. */
+    uint64_t eventsSeen = 0;
+    /** Events lost to ring overwrite. */
+    uint64_t eventsDropped = 0;
+};
+
+/**
+ * Render @p profile as JSONL: one "\n"-terminated JSON object per line,
+ * typed via a "type" member. Event lines come last, oldest first.
+ */
+std::string toJsonl(const ProfileData &profile);
+
+/**
+ * Emit @p profile as one JSON object (no events, only their summary)
+ * into an in-progress @p jw document.
+ */
+void writeJson(JsonWriter &jw, const ProfileData &profile);
+
+/** Render @p events alone as JSONL event lines. */
+std::string eventsToJsonl(const std::vector<Event> &events);
+
+} // namespace uhm::obs
+
+#endif // UHM_OBS_REPORT_HH

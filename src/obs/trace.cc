@@ -1,0 +1,72 @@
+#include "obs/trace.hh"
+
+#include "support/logging.hh"
+
+namespace uhm::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetch:     return "fetch";
+      case EventKind::Decode:    return "decode";
+      case EventKind::DtbHit:    return "dtb_hit";
+      case EventKind::DtbMiss:   return "dtb_miss";
+      case EventKind::DtbEvict:  return "dtb_evict";
+      case EventKind::DtbReject: return "dtb_reject";
+      case EventKind::Trap:      return "trap";
+      case EventKind::Translate: return "translate";
+      case EventKind::Promote:   return "promote";
+    }
+    return "?";
+}
+
+void
+Tracer::enable(size_t capacity)
+{
+    uhm_assert(capacity >= 1, "tracer ring needs at least one slot");
+    ring_.assign(capacity, Event{});
+    next_ = 0;
+    seen_ = 0;
+    enabled_ = true;
+}
+
+void
+Tracer::disable()
+{
+    ring_.clear();
+    ring_.shrink_to_fit();
+    next_ = 0;
+    seen_ = 0;
+    enabled_ = false;
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    std::vector<Event> out;
+    if (seen_ == 0)
+        return out;
+    if (seen_ <= ring_.size()) {
+        out.assign(ring_.begin(),
+                   ring_.begin() + static_cast<ptrdiff_t>(seen_));
+        return out;
+    }
+    // Ring wrapped: the oldest retained event is at next_.
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    next_ = 0;
+    seen_ = 0;
+}
+
+} // namespace uhm::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Typed event tracing over a bounded ring buffer.
+ *
+ * Counters say how often; the tracer says *when*. Each event is a fixed
+ * 32-byte record — kind, the machine cycle at which it happened, the
+ * DIR bit address involved and one kind-specific argument — recorded
+ * into a preallocated ring. When the ring fills, the oldest events are
+ * overwritten and counted as dropped, so tracing a long run costs a
+ * bounded amount of memory and never reallocates on the hot path.
+ * Recording into a disabled tracer is a single predictable branch.
+ */
+
+#ifndef UHM_OBS_TRACE_HH
+#define UHM_OBS_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uhm::obs
+{
+
+/** What happened. The argument's meaning depends on the kind. */
+enum class EventKind : uint8_t
+{
+    Fetch,     ///< DIR bits fetched; arg = level-2/cache word refs
+    Decode,    ///< DIR instruction decoded; arg = decode cycles
+    DtbHit,    ///< INTERP found the translation resident
+    DtbMiss,   ///< INTERP missed in the DTB
+    DtbEvict,  ///< a resident translation was replaced; addr = its tag
+    DtbReject, ///< translation not retained; arg = units it needed
+    Trap,      ///< DTRPOINT trap to the translator; arg = trap cycles
+    Translate, ///< PSDER generated; arg = short instructions emitted
+    Promote,   ///< translation copied into the first-level buffer (Dtb2)
+};
+
+/** Stable lowercase name of @p kind ("dtb_miss"). */
+const char *eventKindName(EventKind kind);
+
+/** One trace record. */
+struct Event
+{
+    uint64_t cycle = 0; ///< machine cycle counter at the event
+    uint64_t addr = 0;  ///< DIR bit address involved
+    uint64_t arg = 0;   ///< kind-specific argument
+    EventKind kind = EventKind::Fetch;
+};
+
+/** Bounded ring-buffer event recorder. */
+class Tracer
+{
+  public:
+    /** Default ring capacity (events). */
+    static constexpr size_t defaultCapacity = 65536;
+
+    /** Start recording into a ring of @p capacity events. */
+    void enable(size_t capacity = defaultCapacity);
+
+    /** Stop recording and release the ring. */
+    void disable();
+
+    bool enabled() const { return enabled_; }
+
+    /** Ring capacity in events (0 when disabled). */
+    size_t capacity() const { return ring_.size(); }
+
+    /** Record one event; a no-op (one branch) when disabled. */
+    void
+    record(EventKind kind, uint64_t cycle, uint64_t addr,
+           uint64_t arg = 0)
+    {
+        if (!enabled_)
+            return;
+        ring_[next_] = Event{cycle, addr, arg, kind};
+        next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+        ++seen_;
+    }
+
+    /** Events recorded since enable()/clear(), including dropped ones. */
+    uint64_t seen() const { return seen_; }
+
+    /** Events overwritten because the ring filled. */
+    uint64_t
+    dropped() const
+    {
+        return seen_ > ring_.size() ? seen_ - ring_.size() : 0;
+    }
+
+    /** The retained events, oldest first. */
+    std::vector<Event> events() const;
+
+    /** Drop all recorded events, keeping the ring and enablement. */
+    void clear();
+
+  private:
+    std::vector<Event> ring_;
+    size_t next_ = 0;
+    uint64_t seen_ = 0;
+    bool enabled_ = false;
+};
+
+} // namespace uhm::obs
+
+#endif // UHM_OBS_TRACE_HH

@@ -43,6 +43,24 @@ Machine::Machine(const EncodedDir &image, const MachineConfig &config)
               prog.maxDepth(),
               static_cast<unsigned long long>(config_.layout.maxDepth));
     }
+
+    // Publish every component's counters under one hierarchical
+    // namespace (naming scheme: docs/INTERNALS.md "Observability").
+    registry_.add("machine.dir_instrs", dirInstrs_);
+    registry_.add("machine.decoded_instrs", decodedInstrs_);
+    registry_.add("machine.translated_instrs", translatedInstrs_);
+    registry_.add("machine.micro_ops", microOps_);
+    registry_.add("machine.short_instrs", shortInstrs_);
+    registry_.add("machine.dir_fetch_refs", dirFetchRefs_);
+    registry_.add("machine.traps", traps_);
+    registry_.add("translate.short_emitted", translateShortEmitted_);
+    mem_.registerCounters(registry_, "mem");
+    if (dtb_)
+        dtb_->registerCounters(registry_, "dtb");
+    if (dtbL1_)
+        dtbL1_->registerCounters(registry_, "dtbl1");
+    if (icache_)
+        icache_->registerCounters(registry_, "icache");
 }
 
 Machine::~Machine() = default;
@@ -86,7 +104,7 @@ Machine::runRoutine(const MicroRoutine &routine)
         const MicroOp &op = routine.ops[mpc++];
         // One level-1 reference to fetch the micro-instruction.
         breakdown_.semantic += timing.tau1;
-        stats_.add("micro_ops");
+        ++microOps_;
 
         auto &r = regs_;
         switch (op.op) {
@@ -201,7 +219,8 @@ Machine::chargeFetchLevel2(uint64_t bits)
 {
     uint64_t refs = std::max<uint64_t>(1, (bits + 63) / 64);
     breakdown_.fetch += refs * config_.timing.tau2;
-    stats_.add("dir_fetch_refs", refs);
+    dirFetchRefs_ += refs;
+    emitEvent(obs::EventKind::Fetch, pc_, refs);
 }
 
 void
@@ -213,8 +232,9 @@ Machine::chargeFetchCached(uint64_t bit_addr, uint64_t bits)
         bool hit = icache_->access(word * 8);
         breakdown_.fetch += hit ? config_.timing.tauD :
             config_.timing.tau2;
-        stats_.add("dir_fetch_refs");
+        ++dirFetchRefs_;
     }
+    emitEvent(obs::EventKind::Fetch, bit_addr, last - first + 1);
 }
 
 // ---- execution ------------------------------------------------------------
@@ -269,7 +289,9 @@ Machine::runConventionalOrCached()
             chargeFetchCached(pc_, bits);
         else
             chargeFetchLevel2(bits);
-        breakdown_.decode += config_.costs.decodeCycles(res.cost);
+        uint64_t decode_cycles = config_.costs.decodeCycles(res.cost);
+        breakdown_.decode += decode_cycles;
+        emitEvent(obs::EventKind::Decode, pc_, decode_cycles);
 
         Staging st = stageInstruction(res.instr, *image_, res.index);
         executeStaged(st);
@@ -283,7 +305,7 @@ Machine::executeShortSequence(const std::vector<ShortInstr> &code,
     for (const ShortInstr &si : code) {
         // IU2 fetches each short instruction from the buffer array.
         breakdown_.dispatch += fetch_cost;
-        stats_.add("short_instrs");
+        ++shortInstrs_;
         switch (si.op) {
           case SOp::PUSH: {
             int64_t value = si.operand;
@@ -356,6 +378,7 @@ Machine::runDtb()
         Dtb::LookupResult lr = dtb_->lookup(pc_);
 
         if (lr.hit) {
+            emitEvent(obs::EventKind::DtbHit, pc_);
             if (config_.traceEvents) {
                 std::ostringstream os;
                 os << "interp hit dir@" << pc_;
@@ -368,31 +391,47 @@ Machine::runDtb()
                     lr.code->size() * config_.timing.tau1;
                 local = *lr.code;
                 dtbL1_->insert(pc_, *lr.code);
+                emitEvent(obs::EventKind::Promote, pc_,
+                          local.size());
                 code = &local;
             } else {
                 code = lr.code;
             }
         } else {
             // Figure 4: trap through DTRPOINT to the dynamic translator.
+            emitEvent(obs::EventKind::DtbMiss, pc_);
             breakdown_.dispatch += config_.trapCycles;
+            ++traps_;
+            emitEvent(obs::EventKind::Trap, pc_, config_.trapCycles);
             ++decodedInstrs_;
             ++translatedInstrs_;
 
             Translation tr = translator_.translate(pc_);
             chargeFetchLevel2(tr.bits);
-            breakdown_.decode += config_.costs.decodeCycles(tr.decodeCost);
+            uint64_t decode_cycles =
+                config_.costs.decodeCycles(tr.decodeCost);
+            breakdown_.decode += decode_cycles;
+            emitEvent(obs::EventKind::Decode, pc_, decode_cycles);
             // Generation: one cycle to construct each short instruction
             // plus one buffer-array store each.
             breakdown_.translate +=
                 tr.genSteps * (1 + config_.timing.tauD);
+            translateShortEmitted_ += tr.code.size();
+            emitEvent(obs::EventKind::Translate, pc_, tr.code.size());
 
-            bool stored = dtb_->insert(pc_, tr.code);
+            Dtb::InsertOutcome ins = dtb_->insert(pc_, tr.code);
+            if (ins.evicted)
+                emitEvent(obs::EventKind::DtbEvict, ins.victimTag,
+                          ins.unitsNeeded);
+            if (!ins.retained)
+                emitEvent(obs::EventKind::DtbReject, pc_,
+                          ins.unitsNeeded);
             if (config_.traceEvents) {
                 std::ostringstream os;
                 os << "interp miss dir@" << pc_
                    << " -> translate (" << tr.code.size()
-                   << " short instrs, " << (stored ? "stored" : "rejected")
-                   << ")";
+                   << " short instrs, "
+                   << (ins.retained ? "stored" : "rejected") << ")";
                 traceEvent(os.str());
             }
             if (two_level)
@@ -425,8 +464,18 @@ Machine::run(const std::vector<int64_t> &input)
     inputPos_ = 0;
     halted_ = false;
     breakdown_ = CycleBreakdown{};
-    dirInstrs_ = decodedInstrs_ = translatedInstrs_ = 0;
-    stats_.clear();
+    dirInstrs_.reset();
+    decodedInstrs_.reset();
+    translatedInstrs_.reset();
+    microOps_.reset();
+    shortInstrs_.reset();
+    dirFetchRefs_.reset();
+    traps_.reset();
+    translateShortEmitted_.reset();
+    if (config_.profileEvents)
+        tracer_.enable(config_.profileEventCapacity);
+    else
+        tracer_.disable();
     trace_.clear();
     addressTrace_.clear();
     opcodeCounts_.assign(numOps, 0);
@@ -468,9 +517,15 @@ Machine::run(const std::vector<int64_t> &input)
     result.breakdown = breakdown_;
     result.cycles = breakdown_.total();
     result.dirInstrs = dirInstrs_;
-    result.stats = stats_;
+    result.stats.add("micro_ops", microOps_.value());
+    result.stats.add("short_instrs", shortInstrs_.value());
+    result.stats.add("dir_fetch_refs", dirFetchRefs_.value());
     result.stats.merge(mem_.stats());
     result.trace = std::move(trace_);
+    result.counters = registry_.snapshot();
+    result.events = tracer_.events();
+    result.eventsSeen = tracer_.seen();
+    result.eventsDropped = tracer_.dropped();
     result.addressTrace = std::move(addressTrace_);
     if (config_.kind == MachineKind::Conventional ||
         config_.kind == MachineKind::Cached) {

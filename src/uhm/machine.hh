@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,6 +39,9 @@
 #include "dir/encoding.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
+#include "obs/counter.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "psder/layout.hh"
 #include "psder/routines.hh"
 #include "psder/staging.hh"
@@ -89,8 +93,17 @@ struct MachineConfig
     uint64_t maxDirInstrs = 500'000'000;
     /** Fixed trap overhead on a DTB miss (DTRPOINT branch, Figure 4). */
     uint64_t trapCycles = 2;
-    /** Record an event trace (tests of the Figure 4 flow). */
+    /** Record a legacy string trace (tests of the Figure 4 flow). */
     bool traceEvents = false;
+    /**
+     * Record typed obs::Events — fetch, decode, dtb_hit, dtb_miss,
+     * dtb_evict, dtb_reject, trap, translate, promote — stamped with
+     * the machine's cycle counter, into a bounded ring
+     * (RunResult::events). Zero-overhead when off.
+     */
+    bool profileEvents = false;
+    /** Ring capacity (events) for the typed trace. */
+    size_t profileEventCapacity = obs::Tracer::defaultCapacity;
     /**
      * Record the DIR-address reference trace of the run (one entry per
      * interpreted instruction) for trace-driven DTB studies
@@ -135,8 +148,21 @@ struct RunResult
     double dtbL1HitRatio = 1.0;
     /** Instruction-cache hit ratio (Cached kind; 1.0 otherwise). */
     double cacheHitRatio = 1.0;
-    /** Event trace (when MachineConfig::traceEvents). */
+    /** Legacy string trace (when MachineConfig::traceEvents). */
     std::vector<std::string> trace;
+    /**
+     * Hierarchical counter snapshot from the machine's obs::Registry
+     * ("dtb.hits", "icache.misses", "machine.dir_instrs", ...).
+     * Always filled; the counters agree exactly with the legacy keys
+     * in #stats.
+     */
+    std::map<std::string, uint64_t> counters;
+    /** Typed event trace (when MachineConfig::profileEvents). */
+    std::vector<obs::Event> events;
+    /** Events recorded in total, including ones the ring dropped. */
+    uint64_t eventsSeen = 0;
+    /** Events lost to ring overwrite. */
+    uint64_t eventsDropped = 0;
     /** DIR-address trace (when MachineConfig::captureAddressTrace). */
     std::vector<uint64_t> addressTrace;
     /**
@@ -193,6 +219,12 @@ class Machine
     /** The semantic-routine library. */
     const RoutineLibrary &routines() const { return routines_; }
 
+    /**
+     * The machine's counter registry. Every component registered its
+     * counters here at construction; reading it is a live view.
+     */
+    const obs::Registry &registry() const { return registry_; }
+
     const MachineConfig &config() const { return config_; }
 
   private:
@@ -226,6 +258,13 @@ class Machine
 
     void traceEvent(const std::string &event);
 
+    /** Record a typed obs event stamped with the current cycle count. */
+    void
+    emitEvent(obs::EventKind kind, uint64_t addr, uint64_t arg = 0)
+    {
+        tracer_.record(kind, breakdown_.total(), addr, arg);
+    }
+
     const EncodedDir *image_;
     MachineConfig config_;
     RoutineLibrary routines_;
@@ -247,12 +286,20 @@ class Machine
     size_t inputPos_ = 0;
     std::vector<int64_t> output_;
 
-    // Accounting.
+    // Accounting: counters are registered into registry_ at
+    // construction (see the naming scheme in docs/INTERNALS.md).
     CycleBreakdown breakdown_;
-    uint64_t dirInstrs_ = 0;
-    uint64_t decodedInstrs_ = 0;
-    uint64_t translatedInstrs_ = 0;
-    StatSet stats_;
+    obs::Counter dirInstrs_;
+    obs::Counter decodedInstrs_;
+    obs::Counter translatedInstrs_;
+    obs::Counter microOps_;
+    obs::Counter shortInstrs_;
+    obs::Counter dirFetchRefs_;
+    obs::Counter traps_;
+    /** Short instructions emitted by the dynamic translator. */
+    obs::Counter translateShortEmitted_;
+    obs::Registry registry_;
+    obs::Tracer tracer_;
     std::vector<std::string> trace_;
     std::vector<uint64_t> opcodeCounts_;
     std::vector<uint64_t> addressTrace_;

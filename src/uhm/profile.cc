@@ -1,0 +1,67 @@
+#include "uhm/profile.hh"
+
+namespace uhm
+{
+
+obs::ProfileData
+buildProfile(const ProfileMeta &meta, const RunResult &result)
+{
+    obs::ProfileData p;
+    if (!meta.program.empty())
+        p.meta.emplace_back("program", meta.program);
+    if (!meta.machine.empty())
+        p.meta.emplace_back("machine", meta.machine);
+    if (!meta.encoding.empty())
+        p.meta.emplace_back("encoding", meta.encoding);
+    if (meta.imageBits != 0)
+        p.meta.emplace_back("image_bits",
+                            std::to_string(meta.imageBits));
+
+    const CycleBreakdown &b = result.breakdown;
+    p.phases = {
+        {"fetch", b.fetch},         {"decode", b.decode},
+        {"stage", b.stage},         {"dispatch", b.dispatch},
+        {"semantic", b.semantic},   {"translate", b.translate},
+        {"total", b.total()},
+    };
+
+    p.counters = result.counters;
+
+    auto counter = [&result](const char *name) -> uint64_t {
+        auto it = result.counters.find(name);
+        return it == result.counters.end() ? 0 : it->second;
+    };
+    uint64_t translated = counter("machine.translated_instrs");
+    uint64_t emitted = counter("translate.short_emitted");
+
+    p.ratios.emplace_back("cycles_per_instr", result.avgInterpTime());
+    p.ratios.emplace_back("dtb.hit_ratio", result.dtbHitRatio);
+    p.ratios.emplace_back("dtbl1.hit_ratio", result.dtbL1HitRatio);
+    p.ratios.emplace_back("icache.hit_ratio", result.cacheHitRatio);
+    p.ratios.emplace_back(
+        "translate.amplification",
+        translated == 0 ? 0.0 :
+        static_cast<double>(emitted) /
+        static_cast<double>(translated));
+    p.ratios.emplace_back(
+        "translate.cycle_fraction",
+        b.total() == 0 ? 0.0 :
+        static_cast<double>(b.translate) /
+        static_cast<double>(b.total()));
+    p.ratios.emplace_back("measured_d", result.measuredD);
+    p.ratios.emplace_back("measured_x", result.measuredX);
+    p.ratios.emplace_back("measured_g", result.measuredG);
+
+    p.events = result.events;
+    p.eventsSeen = result.eventsSeen;
+    p.eventsDropped = result.eventsDropped;
+    return p;
+}
+
+std::string
+profileJsonl(const ProfileMeta &meta, const RunResult &result)
+{
+    return obs::toJsonl(buildProfile(meta, result));
+}
+
+} // namespace uhm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bridging a RunResult into an obs::ProfileData report.
+ *
+ * Everything the report contains comes from the RunResult itself — the
+ * cycle breakdown, the registry counter snapshot, the typed event
+ * trace — so a profile can be built after the machine is gone. The
+ * derived ratios reproduce the section 7 quantities: hit ratios (h_D,
+ * h_c), cycles per DIR instruction (T) and translation amplification
+ * (short instructions emitted per translated DIR instruction).
+ */
+
+#ifndef UHM_UHM_PROFILE_HH
+#define UHM_UHM_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/report.hh"
+#include "uhm/machine.hh"
+
+namespace uhm
+{
+
+/** Identification attached to a profile's meta line. */
+struct ProfileMeta
+{
+    std::string program;
+    std::string machine;
+    std::string encoding;
+    /** Encoded image size in bits (0 = unknown). */
+    uint64_t imageBits = 0;
+};
+
+/** Assemble the full report for one run. */
+obs::ProfileData buildProfile(const ProfileMeta &meta,
+                              const RunResult &result);
+
+/** Convenience: buildProfile + obs::toJsonl. */
+std::string profileJsonl(const ProfileMeta &meta,
+                         const RunResult &result);
+
+} // namespace uhm
+
+#endif // UHM_UHM_PROFILE_HH

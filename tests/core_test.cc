@@ -48,7 +48,7 @@ TEST(Dtb, MissThenHitAfterInsert)
 {
     Dtb dtb(smallDtb());
     EXPECT_FALSE(dtb.lookup(100).hit);
-    EXPECT_TRUE(dtb.insert(100, fakeCode(3, 7)));
+    EXPECT_TRUE(dtb.insert(100, fakeCode(3, 7)).retained);
     Dtb::LookupResult lr = dtb.lookup(100);
     ASSERT_TRUE(lr.hit);
     ASSERT_NE(lr.code, nullptr);
@@ -124,7 +124,7 @@ TEST(Dtb, LongTranslationConsumesOverflowBlocks)
     Dtb dtb(smallDtb());
     uint64_t free_before = dtb.overflowFree();
     // 10 instrs at unit 4 -> 3 units -> 2 overflow blocks.
-    EXPECT_TRUE(dtb.insert(5, fakeCode(10, 1)));
+    EXPECT_TRUE(dtb.insert(5, fakeCode(10, 1)).retained);
     EXPECT_EQ(dtb.overflowFree(), free_before - 2);
     Dtb::LookupResult lr = dtb.lookup(5);
     ASSERT_TRUE(lr.hit);
@@ -142,14 +142,14 @@ TEST(Dtb, EvictionReleasesOverflowBlocks)
     ASSERT_EQ(dtb.numEntries(), 4u);
     ASSERT_EQ(dtb.overflowTotal(), 4u);
 
-    EXPECT_TRUE(dtb.insert(1, fakeCode(12, 1))); // 3 units: 2 overflow
+    EXPECT_TRUE(dtb.insert(1, fakeCode(12, 1)).retained); // 3 units: 2 overflow
     EXPECT_EQ(dtb.overflowFree(), 2u);
     // Fill the remaining primary ways.
     dtb.insert(2, fakeCode(2, 2));
     dtb.insert(3, fakeCode(2, 3));
     dtb.insert(4, fakeCode(2, 4));
     // Next insert evicts entry 1 (LRU) and frees its blocks.
-    EXPECT_TRUE(dtb.insert(5, fakeCode(2, 5)));
+    EXPECT_TRUE(dtb.insert(5, fakeCode(2, 5)).retained);
     EXPECT_EQ(dtb.overflowFree(), 4u);
     EXPECT_FALSE(dtb.lookup(1).hit);
 }
@@ -164,12 +164,85 @@ TEST(Dtb, OverflowExhaustionRejectsButDoesNotBreak)
     Dtb dtb(cfg);
     ASSERT_EQ(dtb.overflowTotal(), 2u);
 
-    EXPECT_TRUE(dtb.insert(1, fakeCode(12, 1)));  // takes both blocks
-    EXPECT_FALSE(dtb.insert(2, fakeCode(12, 2))); // rejected
+    EXPECT_TRUE(dtb.insert(1, fakeCode(12, 1)).retained);  // takes both blocks
+    EXPECT_FALSE(dtb.insert(2, fakeCode(12, 2)).retained); // rejected
     EXPECT_GE(dtb.stats().get("dtb_rejects"), 1u);
     EXPECT_FALSE(dtb.lookup(2).hit);
     // Short translations still insert fine.
-    EXPECT_TRUE(dtb.insert(3, fakeCode(3, 3)));
+    EXPECT_TRUE(dtb.insert(3, fakeCode(3, 3)).retained);
+}
+
+TEST(Dtb, RejectedInsertPreservesResidentVictim)
+{
+    // Regression: insert used to evict the replacement victim *before*
+    // discovering the overflow area could not hold the new translation,
+    // destroying a resident (possibly hot) entry and then rejecting
+    // anyway. The reservation must come first.
+    DtbConfig cfg;
+    cfg.capacityBytes = 8 * 4 * 2;
+    cfg.unitShortInstrs = 4;
+    cfg.assoc = 0;
+    cfg.overflowFraction = 0.25; // 6 primary, 2 overflow
+    Dtb dtb(cfg);
+    ASSERT_EQ(dtb.numEntries(), 6u);
+    ASSERT_EQ(dtb.overflowTotal(), 2u);
+
+    // Entry 1 takes both overflow blocks; 2..6 fill the primaries.
+    ASSERT_TRUE(dtb.insert(1, fakeCode(12, 1)).retained);
+    for (uint64_t a = 2; a <= 6; ++a)
+        ASSERT_TRUE(dtb.insert(a, fakeCode(2, int64_t(a))).retained);
+    ASSERT_EQ(dtb.overflowFree(), 0u);
+
+    // A 16-instr translation needs 3 overflow blocks. Even evicting the
+    // LRU victim (entry 1, which would release only 2) cannot supply
+    // them, so the insert must reject WITHOUT destroying the victim.
+    Dtb::InsertOutcome out = dtb.insert(7, fakeCode(16, 7));
+    EXPECT_FALSE(out.retained);
+    EXPECT_FALSE(out.evicted);
+    EXPECT_EQ(out.unitsNeeded, 4u);
+    EXPECT_GE(dtb.stats().get("dtb_rejects"), 1u);
+    EXPECT_EQ(dtb.stats().get("dtb_evictions"), 0u);
+    EXPECT_EQ(dtb.overflowFree(), 0u);
+
+    // Every resident entry — the would-be victim included — still hits.
+    for (uint64_t a = 1; a <= 6; ++a)
+        EXPECT_TRUE(dtb.lookup(a).hit) << "entry " << a;
+    EXPECT_FALSE(dtb.lookup(7).hit);
+}
+
+TEST(Dtb, EvictionCountsVictimBlocksTowardOverflow)
+{
+    // The flip side of the reservation fix: the blocks the victim would
+    // release count toward the overflow check, so an insert that fits
+    // only thanks to the eviction still succeeds.
+    DtbConfig cfg;
+    cfg.capacityBytes = 8 * 4 * 2;
+    cfg.unitShortInstrs = 4;
+    cfg.assoc = 0;
+    cfg.overflowFraction = 0.5; // 4 primary, 4 overflow
+    Dtb dtb(cfg);
+    ASSERT_EQ(dtb.numEntries(), 4u);
+    ASSERT_EQ(dtb.overflowTotal(), 4u);
+
+    // A holds all 4 overflow blocks; B, C, D fill the primaries and are
+    // touched so A is the LRU victim.
+    ASSERT_TRUE(dtb.insert(1, fakeCode(20, 1)).retained);
+    for (uint64_t a = 2; a <= 4; ++a)
+        ASSERT_TRUE(dtb.insert(a, fakeCode(2, int64_t(a))).retained);
+    for (uint64_t a = 2; a <= 4; ++a)
+        ASSERT_TRUE(dtb.lookup(a).hit);
+    ASSERT_EQ(dtb.overflowFree(), 0u);
+
+    // E needs 2 overflow blocks; none are free, but evicting A releases
+    // 4, so the insert succeeds.
+    Dtb::InsertOutcome out = dtb.insert(5, fakeCode(12, 5));
+    EXPECT_TRUE(out.retained);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimTag, 1u);
+    EXPECT_EQ(out.unitsNeeded, 3u);
+    EXPECT_FALSE(dtb.lookup(1).hit);
+    EXPECT_TRUE(dtb.lookup(5).hit);
+    EXPECT_EQ(dtb.overflowFree(), 2u);
 }
 
 TEST(Dtb, FixedAllocationRejectsOversizedTranslations)
@@ -177,8 +250,8 @@ TEST(Dtb, FixedAllocationRejectsOversizedTranslations)
     DtbConfig cfg = smallDtb();
     cfg.allowOverflow = false;
     Dtb dtb(cfg);
-    EXPECT_FALSE(dtb.insert(1, fakeCode(5, 1)));
-    EXPECT_TRUE(dtb.insert(1, fakeCode(4, 1)));
+    EXPECT_FALSE(dtb.insert(1, fakeCode(5, 1)).retained);
+    EXPECT_TRUE(dtb.insert(1, fakeCode(4, 1)).retained);
 }
 
 TEST(Dtb, InvalidateAllEmptiesBufferAndRestoresOverflow)
@@ -257,7 +330,7 @@ TEST_F(TranslatorFixture, TranslationsRoundTripThroughDtb)
     for (size_t i = 0; i < std::min<size_t>(prog_.size(), 50); ++i) {
         uint64_t addr = image_->bitAddrOf(i);
         Translation tr = translator.translate(addr);
-        ASSERT_TRUE(dtb.insert(addr, tr.code));
+        ASSERT_TRUE(dtb.insert(addr, tr.code).retained);
         Dtb::LookupResult lr = dtb.lookup(addr);
         ASSERT_TRUE(lr.hit);
         EXPECT_EQ(*lr.code, tr.code);

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the observability layer: the counters registry, the typed
+ * event tracer, the profile reports, and their integration with the
+ * machine — the registry view must agree exactly with the legacy
+ * accessors and RunResult statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "hlr/compiler.hh"
+#include "obs/counter.hh"
+#include "obs/registry.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "uhm/machine.hh"
+#include "uhm/profile.hh"
+#include "workload/samples.hh"
+
+namespace uhm
+{
+namespace
+{
+
+// ---- counters and the registry ---------------------------------------------
+
+TEST(ObsCounter, IncrementAndReset)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    c.add(2);
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_EQ(static_cast<uint64_t>(c), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, LiveViewOverRegisteredCounters)
+{
+    obs::Counter hits, misses;
+    obs::Registry reg;
+    reg.add("dtb.hits", hits);
+    reg.add("dtb.misses", misses);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_TRUE(reg.contains("dtb.hits"));
+    EXPECT_FALSE(reg.contains("dtb.evictions"));
+    EXPECT_EQ(reg.get("dtb.hits"), 0u);
+
+    hits += 3;
+    ++misses;
+    // The registry is a view, not a copy.
+    EXPECT_EQ(reg.get("dtb.hits"), 3u);
+    EXPECT_EQ(reg.get("dtb.misses"), 1u);
+    EXPECT_EQ(reg.get("absent"), 0u);
+
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.at("dtb.hits"), 3u);
+}
+
+TEST(ObsRegistry, HierarchicalTotals)
+{
+    obs::Counter a, b, c;
+    obs::Registry reg;
+    reg.add("dtb.hits", a);
+    reg.add("dtb.misses", b);
+    reg.add("dtbl1.hits", c); // "dtb" prefix must NOT match "dtbl1"
+    a += 5;
+    b += 2;
+    c += 100;
+    EXPECT_EQ(reg.total("dtb"), 7u);
+    EXPECT_EQ(reg.total("dtbl1"), 100u);
+    EXPECT_EQ(reg.total("icache"), 0u);
+}
+
+TEST(ObsRegistry, DuplicateNameIsAnInternalError)
+{
+    obs::Counter a, b;
+    obs::Registry reg;
+    reg.add("x", a);
+    EXPECT_THROW(reg.add("x", b), PanicError);
+}
+
+TEST(ObsRegistry, JoinName)
+{
+    EXPECT_EQ(obs::joinName("dtb", "hits"), "dtb.hits");
+    EXPECT_EQ(obs::joinName("", "hits"), "hits");
+}
+
+// ---- the event tracer ------------------------------------------------------
+
+TEST(ObsTracer, DisabledRecordsNothing)
+{
+    obs::Tracer t;
+    EXPECT_FALSE(t.enabled());
+    t.record(obs::EventKind::DtbHit, 1, 2);
+    EXPECT_EQ(t.seen(), 0u);
+    EXPECT_TRUE(t.events().empty());
+}
+
+TEST(ObsTracer, RecordsInOrder)
+{
+    obs::Tracer t;
+    t.enable(16);
+    for (uint64_t i = 0; i < 5; ++i)
+        t.record(obs::EventKind::Fetch, i * 10, i, i + 100);
+    EXPECT_EQ(t.seen(), 5u);
+    EXPECT_EQ(t.dropped(), 0u);
+    auto events = t.events();
+    ASSERT_EQ(events.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(events[i].cycle, i * 10);
+        EXPECT_EQ(events[i].addr, i);
+        EXPECT_EQ(events[i].arg, i + 100);
+    }
+}
+
+TEST(ObsTracer, BoundedRingKeepsNewestAndCountsDropped)
+{
+    obs::Tracer t;
+    t.enable(4);
+    for (uint64_t i = 0; i < 10; ++i)
+        t.record(obs::EventKind::Decode, i, i);
+    EXPECT_EQ(t.seen(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    auto events = t.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest retained first: cycles 6, 7, 8, 9.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].cycle, 6 + i);
+}
+
+TEST(ObsTracer, ClearKeepsRingAndEnablement)
+{
+    obs::Tracer t;
+    t.enable(8);
+    t.record(obs::EventKind::Trap, 1, 2);
+    t.clear();
+    EXPECT_TRUE(t.enabled());
+    EXPECT_EQ(t.seen(), 0u);
+    EXPECT_TRUE(t.events().empty());
+    t.record(obs::EventKind::Trap, 3, 4);
+    EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(ObsTracer, EveryKindHasAStableName)
+{
+    for (auto kind : {obs::EventKind::Fetch, obs::EventKind::Decode,
+                      obs::EventKind::DtbHit, obs::EventKind::DtbMiss,
+                      obs::EventKind::DtbEvict,
+                      obs::EventKind::DtbReject, obs::EventKind::Trap,
+                      obs::EventKind::Translate,
+                      obs::EventKind::Promote}) {
+        std::string name = obs::eventKindName(kind);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+    }
+}
+
+// ---- profile reports -------------------------------------------------------
+
+TEST(ObsReport, JsonlShapeAndEventLines)
+{
+    obs::ProfileData p;
+    p.meta.emplace_back("program", "demo");
+    p.phases.emplace_back("fetch", 10);
+    p.phases.emplace_back("total", 10);
+    p.counters["dtb.hits"] = 7;
+    p.ratios.emplace_back("dtb.hit_ratio", 0.875);
+    p.events.push_back(
+        obs::Event{42, 5, 1, obs::EventKind::DtbMiss});
+    p.eventsSeen = 1;
+
+    std::string doc = obs::toJsonl(p);
+    // One line per section plus one per event, each valid JSON.
+    size_t lines = static_cast<size_t>(
+        std::count(doc.begin(), doc.end(), '\n'));
+    EXPECT_EQ(lines, 6u);
+    EXPECT_NE(doc.find("{\"type\":\"meta\",\"program\":\"demo\"}"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"dtb.hits\":7"), std::string::npos);
+    EXPECT_NE(doc.find("{\"type\":\"event\",\"cycle\":42,"
+                       "\"kind\":\"dtb_miss\",\"addr\":5,\"arg\":1}"),
+              std::string::npos);
+}
+
+TEST(ObsReport, EmbeddedJsonCarriesNoEventBodies)
+{
+    obs::ProfileData p;
+    p.counters["x"] = 1;
+    p.events.assign(3, obs::Event{});
+    p.eventsSeen = 3;
+    JsonWriter jw;
+    obs::writeJson(jw, p);
+    std::string doc = jw.str();
+    EXPECT_NE(doc.find("\"events_seen\":3"), std::string::npos);
+    EXPECT_EQ(doc.find("\"type\":\"event\""), std::string::npos);
+}
+
+// ---- machine integration ---------------------------------------------------
+
+/** One sample run with the image and machine kept alive for inspection. */
+struct SampleRun
+{
+    std::unique_ptr<EncodedDir> image;
+    std::unique_ptr<Machine> machine;
+    RunResult result;
+};
+
+SampleRun
+runSample(const char *name, MachineKind kind, MachineConfig cfg)
+{
+    SampleRun sr;
+    const auto &sample = workload::sampleByName(name);
+    DirProgram prog = hlr::compileSource(sample.source);
+    sr.image = encodeDir(prog, EncodingScheme::Huffman);
+    cfg.kind = kind;
+    sr.machine = std::make_unique<Machine>(*sr.image, cfg);
+    sr.result = sr.machine->run(sample.input);
+    return sr;
+}
+
+TEST(ObsMachine, RegistryAgreesWithLegacyDtbCounters)
+{
+    SampleRun sr = runSample("collatz", MachineKind::Dtb,
+                             MachineConfig{});
+    const Machine *machine = sr.machine.get();
+    const RunResult &r = sr.result;
+    ASSERT_NE(machine->dtb(), nullptr);
+    const obs::Registry &reg = machine->registry();
+
+    // Registry view == legacy accessors == RunResult legacy stats.
+    EXPECT_GT(reg.get("dtb.hits"), 0u);
+    EXPECT_EQ(reg.get("dtb.hits"), machine->dtb()->hits());
+    EXPECT_EQ(reg.get("dtb.misses"), machine->dtb()->misses());
+    EXPECT_EQ(reg.get("dtb.hits"), r.stats.get("dtb_hits"));
+    EXPECT_EQ(reg.get("dtb.misses"), r.stats.get("dtb_misses"));
+    EXPECT_EQ(reg.get("dtb.inserts"), r.stats.get("dtb_inserts"));
+    EXPECT_EQ(reg.get("dtb.rejects"), r.stats.get("dtb_rejects"));
+    EXPECT_EQ(reg.get("machine.dir_instrs"), r.dirInstrs);
+    EXPECT_EQ(reg.get("machine.micro_ops"), r.stats.get("micro_ops"));
+    EXPECT_EQ(reg.get("machine.short_instrs"),
+              r.stats.get("short_instrs"));
+
+    // The snapshot in the RunResult matches the live registry.
+    EXPECT_EQ(r.counters, reg.snapshot());
+}
+
+TEST(ObsMachine, RegistryAgreesWithLegacyCacheCounters)
+{
+    SampleRun sr = runSample("sieve", MachineKind::Cached,
+                             MachineConfig{});
+    const Machine *machine = sr.machine.get();
+    const RunResult &r = sr.result;
+    ASSERT_NE(machine->icache(), nullptr);
+    EXPECT_EQ(r.counters.at("icache.hits"), machine->icache()->hits());
+    EXPECT_EQ(r.counters.at("icache.hits"), r.stats.get("icache_hits"));
+    EXPECT_EQ(r.counters.at("icache.misses"),
+              r.stats.get("icache_misses"));
+    EXPECT_EQ(r.counters.at("mem.level1_accesses"),
+              r.stats.get("mem_level1_accesses"));
+    // No DTB on the cached organization: no dtb.* counters registered.
+    EXPECT_EQ(r.counters.count("dtb.hits"), 0u);
+}
+
+TEST(ObsMachine, TypedEventsFollowTheFigure4Flow)
+{
+    MachineConfig cfg;
+    cfg.profileEvents = true;
+    // Big enough that no event of the run is dropped.
+    cfg.profileEventCapacity = size_t{1} << 18;
+    RunResult r = runSample("collatz", MachineKind::Dtb, cfg).result;
+    ASSERT_FALSE(r.events.empty());
+    EXPECT_EQ(r.eventsDropped, 0u);
+    EXPECT_EQ(r.eventsSeen, r.events.size());
+
+    // The very first INTERP misses, traps and translates, in order.
+    ASSERT_GE(r.events.size(), 3u);
+    EXPECT_EQ(r.events[0].kind, obs::EventKind::DtbMiss);
+    EXPECT_EQ(r.events[1].kind, obs::EventKind::Trap);
+
+    uint64_t hits = 0, misses = 0, translates = 0, prev_cycle = 0;
+    for (const obs::Event &e : r.events) {
+        // Cycle stamps never run backwards.
+        EXPECT_GE(e.cycle, prev_cycle);
+        prev_cycle = e.cycle;
+        hits += e.kind == obs::EventKind::DtbHit;
+        misses += e.kind == obs::EventKind::DtbMiss;
+        translates += e.kind == obs::EventKind::Translate;
+    }
+    // Event counts agree with the counters.
+    EXPECT_EQ(hits, r.counters.at("dtb.hits"));
+    EXPECT_EQ(misses, r.counters.at("dtb.misses"));
+    EXPECT_EQ(translates,
+              r.counters.at("machine.translated_instrs"));
+}
+
+TEST(ObsMachine, EventsOffByDefaultAndRingBounded)
+{
+    RunResult plain =
+        runSample("fib", MachineKind::Dtb, MachineConfig{}).result;
+    EXPECT_TRUE(plain.events.empty());
+    EXPECT_EQ(plain.eventsSeen, 0u);
+
+    MachineConfig cfg;
+    cfg.profileEvents = true;
+    cfg.profileEventCapacity = 8;
+    RunResult traced = runSample("fib", MachineKind::Dtb, cfg).result;
+    EXPECT_EQ(traced.events.size(), 8u);
+    EXPECT_GT(traced.eventsDropped, 0u);
+    EXPECT_EQ(traced.eventsSeen,
+              traced.events.size() + traced.eventsDropped);
+}
+
+TEST(ObsMachine, ProfileJsonlMatchesRunResultStatistics)
+{
+    RunResult r =
+        runSample("qsort", MachineKind::Dtb, MachineConfig{}).result;
+    ProfileMeta meta;
+    meta.program = "qsort";
+    meta.machine = "dtb";
+    meta.encoding = "huffman";
+    std::string doc = profileJsonl(meta, r);
+
+    // The acceptance contract: the JSONL counters equal the legacy
+    // RunResult statistics, byte for byte.
+    auto expectCounter = [&doc](const std::string &name, uint64_t v) {
+        std::string needle =
+            "\"" + name + "\":" + std::to_string(v);
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "missing " << needle;
+    };
+    expectCounter("dtb.hits", r.stats.get("dtb_hits"));
+    expectCounter("dtb.misses", r.stats.get("dtb_misses"));
+    expectCounter("dtb.inserts", r.stats.get("dtb_inserts"));
+    expectCounter("machine.dir_instrs", r.dirInstrs);
+    expectCounter("machine.short_instrs",
+                  r.stats.get("short_instrs"));
+    EXPECT_NE(doc.find("\"type\":\"phases\""), std::string::npos);
+    EXPECT_NE(doc.find("\"total\":" + std::to_string(r.cycles)),
+              std::string::npos);
+}
+
+TEST(ObsMachine, CountersResetBetweenRuns)
+{
+    const auto &sample = workload::sampleByName("fib");
+    DirProgram prog = hlr::compileSource(sample.source);
+    auto image = encodeDir(prog, EncodingScheme::Huffman);
+    MachineConfig cfg;
+    cfg.kind = MachineKind::Dtb;
+    Machine machine(*image, cfg);
+    RunResult first = machine.run(sample.input);
+    RunResult second = machine.run(sample.input);
+    // Repeated runs are bit-identical, including the counter snapshot.
+    EXPECT_EQ(first.counters, second.counters);
+    EXPECT_EQ(first.cycles, second.cycles);
+}
+
+} // anonymous namespace
+} // namespace uhm
