@@ -32,22 +32,33 @@ ablationWorkload()
 }
 
 void
-policyAblation(const DirProgram &prog)
+policyAblation(SweepRunner &runner, const DirProgram &prog)
 {
     TextTable table("Replacement policy x capacity: LRU (the paper's "
                     "replacement array) vs FIFO\nand random");
     table.setHeader({"capacity", "lru h_D", "fifo h_D", "random h_D",
                      "lru cyc/instr", "fifo cyc/instr",
                      "random cyc/instr"});
-    for (uint64_t cap : {1024u, 2048u, 4096u, 8192u}) {
-        std::vector<std::string> row = {TextTable::num(cap)};
-        std::vector<std::string> cycles;
-        for (ReplPolicy policy : {ReplPolicy::LRU, ReplPolicy::FIFO,
-                                  ReplPolicy::Random}) {
+    const std::vector<uint64_t> caps = {1024, 2048, 4096, 8192};
+    const std::vector<ReplPolicy> policies = {
+        ReplPolicy::LRU, ReplPolicy::FIFO, ReplPolicy::Random};
+
+    std::vector<MachineConfig> configs;
+    for (uint64_t cap : caps) {
+        for (ReplPolicy policy : policies) {
             MachineConfig cfg = makeConfig(MachineKind::Dtb);
             cfg.dtb.capacityBytes = cap;
             cfg.dtb.policy = policy;
-            RunResult r = runProgram(prog, EncodingScheme::Huffman, cfg);
+            configs.push_back(cfg);
+        }
+    }
+    std::vector<RunResult> results =
+        runConfigs(runner, prog, EncodingScheme::Huffman, configs);
+    for (size_t c = 0; c < caps.size(); ++c) {
+        std::vector<std::string> row = {TextTable::num(caps[c])};
+        std::vector<std::string> cycles;
+        for (size_t p = 0; p < policies.size(); ++p) {
+            const RunResult &r = results[c * policies.size() + p];
             row.push_back(TextTable::num(r.dtbHitRatio, 4));
             cycles.push_back(TextTable::num(r.avgInterpTime(), 2));
         }
@@ -58,20 +69,27 @@ policyAblation(const DirProgram &prog)
 }
 
 void
-overflowAblation(const DirProgram &prog)
+overflowAblation(SweepRunner &runner, const DirProgram &prog)
 {
     TextTable table("Overflow-area fraction (unit = 3 short instrs, so "
                     "many translations need an\nincrement)");
     table.setHeader({"overflow fraction", "entries", "h_D", "rejects",
                      "cycles/instr"});
-    for (double frac : {0.0, 0.1, 0.25, 0.5}) {
+    const std::vector<double> fracs = {0.0, 0.1, 0.25, 0.5};
+    std::vector<MachineConfig> configs;
+    for (double frac : fracs) {
         MachineConfig cfg = makeConfig(MachineKind::Dtb);
         cfg.dtb.unitShortInstrs = 3;
         cfg.dtb.overflowFraction = frac;
         cfg.dtb.allowOverflow = frac > 0.0;
-        RunResult r = runProgram(prog, EncodingScheme::Huffman, cfg);
-        Dtb probe(cfg.dtb);
-        table.addRow({TextTable::num(frac, 2),
+        configs.push_back(cfg);
+    }
+    std::vector<RunResult> results =
+        runConfigs(runner, prog, EncodingScheme::Huffman, configs);
+    for (size_t i = 0; i < fracs.size(); ++i) {
+        const RunResult &r = results[i];
+        Dtb probe(configs[i].dtb);
+        table.addRow({TextTable::num(fracs[i], 2),
                       TextTable::num(probe.numEntries()),
                       TextTable::num(r.dtbHitRatio, 4),
                       TextTable::num(r.stats.get("dtb_rejects")),
@@ -81,17 +99,23 @@ overflowAblation(const DirProgram &prog)
 }
 
 void
-trapAblation(const DirProgram &prog)
+trapAblation(SweepRunner &runner, const DirProgram &prog)
 {
     TextTable table("Trap overhead sensitivity (cycles added per miss by "
                     "the DTRPOINT trap)");
     table.setHeader({"trap cycles", "cycles/instr"});
-    for (uint64_t trap : {0u, 2u, 10u, 50u}) {
+    const std::vector<uint64_t> traps = {0, 2, 10, 50};
+    std::vector<MachineConfig> configs;
+    for (uint64_t trap : traps) {
         MachineConfig cfg = makeConfig(MachineKind::Dtb);
         cfg.trapCycles = trap;
-        RunResult r = runProgram(prog, EncodingScheme::Huffman, cfg);
-        table.addRow({TextTable::num(trap),
-                      TextTable::num(r.avgInterpTime(), 2)});
+        configs.push_back(cfg);
+    }
+    std::vector<RunResult> results =
+        runConfigs(runner, prog, EncodingScheme::Huffman, configs);
+    for (size_t i = 0; i < traps.size(); ++i) {
+        table.addRow({TextTable::num(traps[i]),
+                      TextTable::num(results[i].avgInterpTime(), 2)});
     }
     table.print();
 }
@@ -99,17 +123,18 @@ trapAblation(const DirProgram &prog)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner runner(jobsFromArgs(argc, argv));
     std::printf("=== DTB design-choice ablations ===\n\n");
     DirProgram prog = ablationWorkload();
     std::printf("workload: synthetic, %zu DIR instructions\n\n",
                 prog.size());
-    policyAblation(prog);
+    policyAblation(runner, prog);
     std::printf("\n");
-    overflowAblation(prog);
+    overflowAblation(runner, prog);
     std::printf("\n");
-    trapAblation(prog);
+    trapAblation(runner, prog);
     std::printf(
         "\nShape checks: on these loop-phased workloads LRU and FIFO "
         "coincide (references\ncycle, so recency equals insertion order) "

@@ -1,5 +1,10 @@
 #include "bench_common.hh"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "support/json.hh"
+
 namespace uhm::bench
 {
 
@@ -60,6 +65,143 @@ gridWorkload(uint32_t semwork_weight, uint64_t seed)
     cfg.numGlobals = 24;
     cfg.seed = seed;
     return workload::generateSynthetic(cfg);
+}
+
+unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            long n = std::strtol(argv[i] + 7, nullptr, 10);
+            if (n > 0)
+                return static_cast<unsigned>(n);
+        }
+    }
+    return 0;
+}
+
+std::vector<SteeredPoint>
+steeredGrid()
+{
+    std::vector<SteeredPoint> grid;
+    for (double d : analytic::paperDGrid())
+        for (double x : {5.0, 15.0, 30.0})
+            grid.push_back({d, x});
+    return grid;
+}
+
+MeasuredPoint
+measureSteered(const SteeredPoint &pt, EncodingScheme scheme)
+{
+    // Steer x with SEMWORK weight; each spin iteration costs ~4
+    // micro-cycles and density is 0.25, so weight ~= (x_target -
+    // base_x) for the coarse baseline x ~ 14.
+    uint32_t weight = pt.xTarget > 14 ?
+        static_cast<uint32_t>(pt.xTarget - 14) : 0;
+    DirProgram prog = gridWorkload(weight);
+
+    MachineConfig base;
+    base.costs.extraDecodeCycles = 0;
+    // Calibrate d via a probe run, then pad.
+    MeasuredPoint probe = measurePoint(prog, scheme, base);
+    if (probe.d < pt.dTarget) {
+        base.costs.extraDecodeCycles =
+            static_cast<uint64_t>(pt.dTarget - probe.d + 0.5);
+    }
+    return measurePoint(prog, scheme, base);
+}
+
+std::vector<MeasuredPoint>
+measureSteeredGrid(SweepRunner &runner,
+                   const std::vector<SteeredPoint> &grid,
+                   EncodingScheme scheme)
+{
+    return runner.mapItems(grid, [scheme](const SteeredPoint &pt) {
+        return measureSteered(pt, scheme);
+    });
+}
+
+std::vector<MeasuredPoint>
+measureSamples(SweepRunner &runner, const std::vector<std::string> &names,
+               EncodingScheme scheme)
+{
+    return runner.mapItems(names, [scheme](const std::string &name) {
+        const auto &sample = workload::sampleByName(name);
+        DirProgram prog = hlr::compileSource(sample.source);
+        MachineConfig base;
+        return measurePoint(prog, scheme, base, sample.input);
+    });
+}
+
+std::vector<RunResult>
+runConfigs(SweepRunner &runner, const DirProgram &prog,
+           EncodingScheme scheme,
+           const std::vector<MachineConfig> &configs,
+           const std::vector<int64_t> &input)
+{
+    return runner.mapItems(configs,
+                           [&](const MachineConfig &cfg) {
+                               return runProgram(prog, scheme, cfg,
+                                                 input);
+                           });
+}
+
+namespace
+{
+
+/** Render one point's "sweep_point" JSONL line. */
+std::string
+sweepPointLine(const SweepPoint &point, const RunResult &r)
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("type").value("sweep_point");
+    jw.key("program").value(point.label);
+    jw.key("machine").value(machineKindName(point.config.kind));
+    jw.key("encoding").value(encodingName(point.scheme));
+    jw.key("dir_instrs").value(r.dirInstrs);
+    jw.key("cycles").value(r.cycles);
+    jw.key("cycles_per_instr").value(r.avgInterpTime());
+    if (point.config.kind == MachineKind::Dtb ||
+        point.config.kind == MachineKind::Dtb2) {
+        jw.key("dtb.hit_ratio").value(r.dtbHitRatio);
+    }
+    if (point.config.kind == MachineKind::Dtb2)
+        jw.key("dtbl1.hit_ratio").value(r.dtbL1HitRatio);
+    if (point.config.kind == MachineKind::Cached)
+        jw.key("icache.hit_ratio").value(r.cacheHitRatio);
+    jw.endObject();
+    return jw.str() + "\n";
+}
+
+} // anonymous namespace
+
+SweepReport
+runSweep(SweepRunner &runner, const std::vector<SweepPoint> &points)
+{
+    SweepReport report;
+    report.results = runner.mapItems(points, [](const SweepPoint &point) {
+        return runProgram(point.program, point.scheme, point.config,
+                          point.input);
+    });
+
+    // Aggregation happens here, in point order — never in the workers,
+    // never in completion order — so the report is byte-identical for
+    // any job count.
+    for (size_t i = 0; i < points.size(); ++i) {
+        report.jsonl += sweepPointLine(points[i], report.results[i]);
+        report.counters.accumulate(report.results[i].counters);
+    }
+
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("type").value("sweep_summary");
+    jw.key("points").value(static_cast<uint64_t>(points.size()));
+    jw.key("counters");
+    report.counters.writeJson(jw);
+    jw.endObject();
+    report.jsonl += jw.str() + "\n";
+    return report;
 }
 
 } // namespace uhm::bench

@@ -19,9 +19,20 @@
 using namespace uhm;
 using namespace uhm::bench;
 
-int
-main()
+/** Per-program encoded sizes, computed by one worker. */
+struct CompactionRow
 {
+    uint64_t expanded = 0;
+    uint64_t packed = 0;
+    uint64_t contextual = 0;
+    uint64_t huffman = 0;
+    uint64_t pair = 0;
+};
+
+int
+main(int argc, char **argv)
+{
+    uhm::bench::SweepRunner runner(uhm::bench::jobsFromArgs(argc, argv));
     std::printf("=== Encoding compaction (section 3.2; Wilner 25-75%%, "
                 "Hehner up to 75%%) ===\n\n");
 
@@ -30,31 +41,39 @@ main()
     table.setHeader({"program", "packed bits", "contextual", "huffman",
                      "pair-huffman", "vs expanded"});
 
-    double worst_huffman = 0.0, best_huffman = 100.0;
-    for (const auto &sample : workload::samplePrograms()) {
-        DirProgram prog = hlr::compileSource(sample.source);
-        auto expanded = encodeDir(prog, EncodingScheme::Expanded);
-        auto packed = encodeDir(prog, EncodingScheme::Packed);
-        auto contextual = encodeDir(prog, EncodingScheme::Contextual);
-        auto huffman = encodeDir(prog, EncodingScheme::Huffman);
-        auto pair = encodeDir(prog, EncodingScheme::PairHuffman);
+    const auto &samples = workload::samplePrograms();
+    auto rows = runner.map(samples.size(), [&](size_t i) {
+        DirProgram prog = hlr::compileSource(samples[i].source);
+        CompactionRow row;
+        row.expanded = encodeDir(prog, EncodingScheme::Expanded)
+                           ->bitSize();
+        row.packed = encodeDir(prog, EncodingScheme::Packed)->bitSize();
+        row.contextual = encodeDir(prog, EncodingScheme::Contextual)
+                             ->bitSize();
+        row.huffman = encodeDir(prog, EncodingScheme::Huffman)
+                          ->bitSize();
+        row.pair = encodeDir(prog, EncodingScheme::PairHuffman)
+                       ->bitSize();
+        return row;
+    });
 
+    double worst_huffman = 0.0, best_huffman = 100.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const CompactionRow &row = rows[i];
         auto pct = [&](uint64_t bits, uint64_t base) {
             return TextTable::num(100.0 * static_cast<double>(bits) /
                                   static_cast<double>(base), 1) + "%";
         };
-        double huff_pct = 100.0 *
-            static_cast<double>(huffman->bitSize()) /
-            static_cast<double>(packed->bitSize());
+        double huff_pct = 100.0 * static_cast<double>(row.huffman) /
+            static_cast<double>(row.packed);
         worst_huffman = std::max(worst_huffman, huff_pct);
         best_huffman = std::min(best_huffman, huff_pct);
 
-        table.addRow({sample.name, TextTable::num(packed->bitSize()),
-                      pct(contextual->bitSize(), packed->bitSize()),
-                      pct(huffman->bitSize(), packed->bitSize()),
-                      pct(pair->bitSize(), packed->bitSize()),
-                      "huffman = " +
-                          pct(huffman->bitSize(), expanded->bitSize()) +
+        table.addRow({samples[i].name, TextTable::num(row.packed),
+                      pct(row.contextual, row.packed),
+                      pct(row.huffman, row.packed),
+                      pct(row.pair, row.packed),
+                      "huffman = " + pct(row.huffman, row.expanded) +
                           " of expanded"});
     }
     table.print();
@@ -69,16 +88,25 @@ main()
     TextTable meta("The price: resident decoder metadata (bits)");
     meta.setHeader({"program", "packed", "contextual", "huffman",
                     "pair-huffman"});
-    for (const char *name : {"sieve", "qsort", "queens"}) {
-        DirProgram prog = hlr::compileSource(
-            workload::sampleByName(name).source);
-        std::vector<std::string> row = {name};
-        for (EncodingScheme scheme :
-             {EncodingScheme::Packed, EncodingScheme::Contextual,
-              EncodingScheme::Huffman, EncodingScheme::PairHuffman}) {
-            row.push_back(TextTable::num(
-                encodeDir(prog, scheme)->metadataBits()));
-        }
+    const std::vector<std::string> meta_names = {"sieve", "qsort",
+                                                 "queens"};
+    auto meta_rows = runner.mapItems(
+        meta_names, [](const std::string &name) {
+            DirProgram prog = hlr::compileSource(
+                workload::sampleByName(name).source);
+            std::vector<uint64_t> bits;
+            for (EncodingScheme scheme :
+                 {EncodingScheme::Packed, EncodingScheme::Contextual,
+                  EncodingScheme::Huffman,
+                  EncodingScheme::PairHuffman}) {
+                bits.push_back(encodeDir(prog, scheme)->metadataBits());
+            }
+            return bits;
+        });
+    for (size_t i = 0; i < meta_names.size(); ++i) {
+        std::vector<std::string> row = {meta_names[i]};
+        for (uint64_t bits : meta_rows[i])
+            row.push_back(TextTable::num(bits));
         meta.addRow(row);
     }
     meta.print();

@@ -8,16 +8,21 @@
  * downstream analyses can be built without scraping the text tables.
  * Deterministic byte-for-byte.
  *
- * Usage: bench_export [sidecar.jsonl]
- * With an argument, additionally writes the profile reports as a JSONL
- * sidecar (one meta/phases/counters/ratios/trace_summary block per
- * program × machine kind; format in docs/INTERNALS.md).
+ * Usage: bench_export [--jobs=N] [sidecar.jsonl]
+ * With a file argument, additionally writes the profile reports as a
+ * JSONL sidecar (one meta/phases/counters/ratios/trace_summary block
+ * per program × machine kind; format in docs/INTERNALS.md). The
+ * simulation points of every section run on a SweepRunner (--jobs=N,
+ * default all cores); the document is assembled in section order and
+ * stays byte-identical for any job count.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "bench_common.hh"
 #include "dir/fusion.hh"
@@ -55,18 +60,17 @@ exportPaperGrids(JsonWriter &jw)
 }
 
 void
-exportMeasuredPoints(JsonWriter &jw)
+exportMeasuredPoints(SweepRunner &runner, JsonWriter &jw)
 {
+    const std::vector<std::string> names = {"sieve", "fib", "qsort",
+                                            "matmul", "queens",
+                                            "collatz", "bsearch"};
+    std::vector<MeasuredPoint> points = measureSamples(runner, names);
     jw.key("measured_compiled_programs").beginArray();
-    for (const char *name : {"sieve", "fib", "qsort", "matmul",
-                             "queens", "collatz", "bsearch"}) {
-        const auto &sample = workload::sampleByName(name);
-        DirProgram prog = hlr::compileSource(sample.source);
-        MachineConfig base;
-        MeasuredPoint pt = measurePoint(prog, EncodingScheme::Huffman,
-                                        base, sample.input);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const MeasuredPoint &pt = points[i];
         jw.beginObject();
-        jw.key("program").value(name);
+        jw.key("program").value(names[i]);
         jw.key("dir_instrs").value(pt.dirInstrs);
         jw.key("d").value(pt.d);
         jw.key("x").value(pt.x);
@@ -86,7 +90,7 @@ exportMeasuredPoints(JsonWriter &jw)
 }
 
 void
-exportCapacitySweep(JsonWriter &jw)
+exportCapacitySweep(SweepRunner &runner, JsonWriter &jw)
 {
     workload::SyntheticConfig cfg;
     cfg.numLoops = 10;
@@ -98,43 +102,58 @@ exportCapacitySweep(JsonWriter &jw)
     cfg.seed = 2;
     DirProgram prog = workload::generateSynthetic(cfg);
 
-    jw.key("dtb_capacity_sweep").beginArray();
-    for (uint64_t cap : {256u, 512u, 1024u, 2048u, 4096u, 8192u,
-                         16384u}) {
+    const std::vector<uint64_t> caps = {256, 512, 1024, 2048, 4096,
+                                        8192, 16384};
+    std::vector<MachineConfig> configs;
+    for (uint64_t cap : caps) {
         MachineConfig mc = makeConfig(MachineKind::Dtb);
         mc.dtb.capacityBytes = cap;
-        RunResult r = runProgram(prog, EncodingScheme::Huffman, mc);
+        configs.push_back(mc);
+    }
+    std::vector<RunResult> results =
+        runConfigs(runner, prog, EncodingScheme::Huffman, configs);
+
+    jw.key("dtb_capacity_sweep").beginArray();
+    for (size_t i = 0; i < caps.size(); ++i) {
         jw.beginObject();
-        jw.key("capacity_bytes").value(cap);
-        jw.key("hit_ratio").value(r.dtbHitRatio);
-        jw.key("cycles_per_instr").value(r.avgInterpTime());
+        jw.key("capacity_bytes").value(caps[i]);
+        jw.key("hit_ratio").value(results[i].dtbHitRatio);
+        jw.key("cycles_per_instr").value(results[i].avgInterpTime());
         jw.endObject();
     }
     jw.endArray();
 }
 
 void
-exportCompaction(JsonWriter &jw)
+exportCompaction(SweepRunner &runner, JsonWriter &jw)
 {
+    const auto &samples = workload::samplePrograms();
+    auto sizes = runner.map(samples.size(), [&](size_t i) {
+        DirProgram prog = hlr::compileSource(samples[i].source);
+        std::vector<uint64_t> bits;
+        for (EncodingScheme scheme : allEncodingSchemes())
+            bits.push_back(encodeDir(prog, scheme)->bitSize());
+        return bits;
+    });
+
     jw.key("encoding_sizes_bits").beginArray();
-    for (const auto &sample : workload::samplePrograms()) {
-        DirProgram prog = hlr::compileSource(sample.source);
+    for (size_t i = 0; i < samples.size(); ++i) {
         jw.beginObject();
-        jw.key("program").value(sample.name);
-        for (EncodingScheme scheme : allEncodingSchemes()) {
-            auto image = encodeDir(prog, scheme);
-            jw.key(encodingName(scheme)).value(image->bitSize());
-        }
+        jw.key("program").value(samples[i].name);
+        size_t s = 0;
+        for (EncodingScheme scheme : allEncodingSchemes())
+            jw.key(encodingName(scheme)).value(sizes[i][s++]);
         jw.endObject();
     }
     jw.endArray();
 }
 
 void
-exportAmortization(JsonWriter &jw)
+exportAmortization(SweepRunner &runner, JsonWriter &jw)
 {
-    jw.key("binding_amortization").beginArray();
-    for (uint32_t iters : {1u, 2u, 5u, 10u, 50u, 200u, 1000u}) {
+    const std::vector<uint32_t> trip_counts = {1, 2, 5, 10, 50, 200,
+                                               1000};
+    auto results = runner.mapItems(trip_counts, [](uint32_t iters) {
         std::ostringstream src;
         src << "program t; var i, s; begin i := " << iters
             << "; s := 0; while i > 0 do s := s + i * i; i := i - 1; od;"
@@ -144,8 +163,16 @@ exportAmortization(JsonWriter &jw)
                                   makeConfig(MachineKind::Dtb));
         RunResult rc = runProgram(prog, EncodingScheme::Huffman,
                                   makeConfig(MachineKind::Conventional));
+        return std::pair<RunResult, RunResult>(std::move(rd),
+                                               std::move(rc));
+    });
+
+    jw.key("binding_amortization").beginArray();
+    for (size_t i = 0; i < trip_counts.size(); ++i) {
+        const RunResult &rd = results[i].first;
+        const RunResult &rc = results[i].second;
         jw.beginObject();
-        jw.key("iterations").value(uint64_t{iters});
+        jw.key("iterations").value(uint64_t{trip_counts[i]});
         jw.key("h_dtb").value(rd.dtbHitRatio);
         jw.key("dtb_cycles_per_instr").value(rd.avgInterpTime());
         jw.key("conv_cycles_per_instr").value(rc.avgInterpTime());
@@ -155,10 +182,11 @@ exportAmortization(JsonWriter &jw)
 }
 
 void
-exportSemanticLevel(JsonWriter &jw)
+exportSemanticLevel(SweepRunner &runner, JsonWriter &jw)
 {
-    jw.key("semantic_level_raise").beginArray();
-    for (const char *name : {"sieve", "collatz", "matmul", "qsort"}) {
+    const std::vector<std::string> names = {"sieve", "collatz",
+                                            "matmul", "qsort"};
+    auto results = runner.mapItems(names, [](const std::string &name) {
         const auto &sample = workload::sampleByName(name);
         DirProgram base = hlr::compileSource(sample.source);
         DirProgram raised = raiseSemanticLevel(base);
@@ -167,8 +195,16 @@ exportSemanticLevel(JsonWriter &jw)
                                   sample.input);
         RunResult r2 = runProgram(raised, EncodingScheme::Huffman, mc,
                                   sample.input);
+        return std::pair<RunResult, RunResult>(std::move(r1),
+                                               std::move(r2));
+    });
+
+    jw.key("semantic_level_raise").beginArray();
+    for (size_t i = 0; i < names.size(); ++i) {
+        const RunResult &r1 = results[i].first;
+        const RunResult &r2 = results[i].second;
         jw.beginObject();
-        jw.key("program").value(name);
+        jw.key("program").value(names[i]);
         jw.key("base_instrs").value(r1.dirInstrs);
         jw.key("raised_instrs").value(r2.dirInstrs);
         jw.key("base_cycles").value(r1.cycles);
@@ -185,28 +221,36 @@ exportSemanticLevel(JsonWriter &jw)
  * as JSONL blocks.
  */
 void
-exportProfiles(JsonWriter &jw, std::string *sidecar)
+exportProfiles(SweepRunner &runner, JsonWriter &jw, std::string *sidecar)
 {
-    jw.key("profiles").beginArray();
-    for (const char *name : {"sieve", "fib", "qsort"}) {
-        const auto &sample = workload::sampleByName(name);
+    const std::vector<std::string> names = {"sieve", "fib", "qsort"};
+    const std::vector<MachineKind> kinds = {MachineKind::Conventional,
+                                            MachineKind::Cached,
+                                            MachineKind::Dtb};
+    // One worker per (program, organization) point; each builds its
+    // own machine, registry and profile, merged here in point order.
+    auto profiles = runner.map(names.size() * kinds.size(),
+                               [&](size_t i) {
+        const auto &sample = workload::sampleByName(names[i /
+                                                          kinds.size()]);
+        MachineKind kind = kinds[i % kinds.size()];
         DirProgram prog = hlr::compileSource(sample.source);
         auto image = encodeDir(prog, EncodingScheme::Huffman);
-        for (MachineKind kind : {MachineKind::Conventional,
-                                 MachineKind::Cached,
-                                 MachineKind::Dtb}) {
-            Machine machine(*image, makeConfig(kind));
-            RunResult r = machine.run(sample.input);
-            ProfileMeta meta;
-            meta.program = name;
-            meta.machine = machineKindName(kind);
-            meta.encoding = encodingName(EncodingScheme::Huffman);
-            meta.imageBits = image->bitSize();
-            obs::ProfileData profile = buildProfile(meta, r);
-            obs::writeJson(jw, profile);
-            if (sidecar)
-                *sidecar += obs::toJsonl(profile);
-        }
+        Machine machine(*image, makeConfig(kind));
+        RunResult r = machine.run(sample.input);
+        ProfileMeta meta;
+        meta.program = sample.name;
+        meta.machine = machineKindName(kind);
+        meta.encoding = encodingName(EncodingScheme::Huffman);
+        meta.imageBits = image->bitSize();
+        return buildProfile(meta, r);
+    });
+
+    jw.key("profiles").beginArray();
+    for (const obs::ProfileData &profile : profiles) {
+        obs::writeJson(jw, profile);
+        if (sidecar)
+            *sidecar += obs::toJsonl(profile);
     }
     jw.endArray();
 }
@@ -216,14 +260,21 @@ exportProfiles(JsonWriter &jw, std::string *sidecar)
 int
 main(int argc, char **argv)
 try {
+    SweepRunner runner(jobsFromArgs(argc, argv));
+    std::string sidecar_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) != 0)
+            sidecar_path = argv[i];
+    }
+
     std::string sidecar;
-    bool want_sidecar = argc > 1;
+    bool want_sidecar = !sidecar_path.empty();
     std::ofstream sidecar_out;
     if (want_sidecar) {
         // Open up front: fail before the benchmarks run, not after.
-        sidecar_out.open(argv[1]);
+        sidecar_out.open(sidecar_path);
         if (!sidecar_out)
-            fatal("cannot open '%s'", argv[1]);
+            fatal("cannot open '%s'", sidecar_path.c_str());
     }
 
     JsonWriter jw;
@@ -238,12 +289,12 @@ try {
     jw.endObject();
 
     exportPaperGrids(jw);
-    exportMeasuredPoints(jw);
-    exportCapacitySweep(jw);
-    exportCompaction(jw);
-    exportAmortization(jw);
-    exportSemanticLevel(jw);
-    exportProfiles(jw, want_sidecar ? &sidecar : nullptr);
+    exportMeasuredPoints(runner, jw);
+    exportCapacitySweep(runner, jw);
+    exportCompaction(runner, jw);
+    exportAmortization(runner, jw);
+    exportSemanticLevel(runner, jw);
+    exportProfiles(runner, jw, want_sidecar ? &sidecar : nullptr);
 
     jw.endObject();
     std::printf("%s\n", jw.str().c_str());

@@ -24,7 +24,7 @@ namespace
 {
 
 void
-l1SizeSweep()
+l1SizeSweep(SweepRunner &runner)
 {
     TextTable table("First-level buffer size sweep (tight 30-instr loop "
                     "vs 14-phase synthetic),\ncycles per DIR instruction");
@@ -36,21 +36,26 @@ l1SizeSweep()
         "while i > 0 do s := s + i * i; i := i - 1; od; write s; end.");
     DirProgram phased = gridWorkload(2);
 
-    // Single-level baseline first.
-    {
-        MachineConfig cfg = makeConfig(MachineKind::Dtb);
-        RunResult rl = runProgram(loop, EncodingScheme::Huffman, cfg);
-        RunResult rp = runProgram(phased, EncodingScheme::Huffman, cfg);
-        table.addRow({"(single-level DTB)", "-",
-                      TextTable::num(rl.avgInterpTime(), 2), "-",
-                      TextTable::num(rp.avgInterpTime(), 2)});
-    }
-    for (uint64_t bytes : {128u, 256u, 512u, 1024u, 2048u}) {
+    // Config 0 is the single-level baseline; the rest the L1 sizes.
+    const std::vector<uint64_t> sizes = {128, 256, 512, 1024, 2048};
+    std::vector<MachineConfig> configs = {makeConfig(MachineKind::Dtb)};
+    for (uint64_t bytes : sizes) {
         MachineConfig cfg = makeConfig(MachineKind::Dtb2);
         cfg.dtbL1.capacityBytes = bytes;
-        RunResult rl = runProgram(loop, EncodingScheme::Huffman, cfg);
-        RunResult rp = runProgram(phased, EncodingScheme::Huffman, cfg);
-        table.addRow({TextTable::num(bytes),
+        configs.push_back(cfg);
+    }
+    std::vector<RunResult> loop_r =
+        runConfigs(runner, loop, EncodingScheme::Huffman, configs);
+    std::vector<RunResult> phased_r =
+        runConfigs(runner, phased, EncodingScheme::Huffman, configs);
+
+    table.addRow({"(single-level DTB)", "-",
+                  TextTable::num(loop_r[0].avgInterpTime(), 2), "-",
+                  TextTable::num(phased_r[0].avgInterpTime(), 2)});
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        const RunResult &rl = loop_r[i + 1];
+        const RunResult &rp = phased_r[i + 1];
+        table.addRow({TextTable::num(sizes[i]),
                       TextTable::num(rl.dtbL1HitRatio, 3),
                       TextTable::num(rl.avgInterpTime(), 2),
                       TextTable::num(rp.dtbL1HitRatio, 3),
@@ -60,23 +65,28 @@ l1SizeSweep()
 }
 
 void
-realPrograms()
+realPrograms(SweepRunner &runner)
 {
     TextTable table("Compiled programs: one vs two levels of dynamic "
                     "translation (huffman DIR)");
     table.setHeader({"program", "dtb cyc/instr", "dtb2 cyc/instr",
                      "h_D", "h_L1", "speedup"});
-    for (const char *name : {"sieve", "fib", "qsort", "matmul",
-                             "queens"}) {
-        const auto &sample = workload::sampleByName(name);
+    const std::vector<std::string> names = {"sieve", "fib", "qsort",
+                                            "matmul", "queens"};
+    // One worker per (program, organization) pair.
+    auto results = runner.map(names.size() * 2, [&](size_t i) {
+        const auto &sample = workload::sampleByName(names[i / 2]);
         DirProgram prog = hlr::compileSource(sample.source);
         auto image = encodeDir(prog, EncodingScheme::Huffman);
-
-        Machine one(*image, makeConfig(MachineKind::Dtb));
-        Machine two(*image, makeConfig(MachineKind::Dtb2));
-        RunResult r1 = one.run(sample.input);
-        RunResult r2 = two.run(sample.input);
-        table.addRow({name, TextTable::num(r1.avgInterpTime(), 2),
+        Machine machine(*image, makeConfig(i % 2 == 0 ?
+                                           MachineKind::Dtb :
+                                           MachineKind::Dtb2));
+        return machine.run(sample.input);
+    });
+    for (size_t i = 0; i < names.size(); ++i) {
+        const RunResult &r1 = results[i * 2];
+        const RunResult &r2 = results[i * 2 + 1];
+        table.addRow({names[i], TextTable::num(r1.avgInterpTime(), 2),
                       TextTable::num(r2.avgInterpTime(), 2),
                       TextTable::num(r2.dtbHitRatio, 3),
                       TextTable::num(r2.dtbL1HitRatio, 3),
@@ -89,13 +99,14 @@ realPrograms()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner runner(jobsFromArgs(argc, argv));
     std::printf("=== Multi-level dynamic translation (section 4's "
                 "extension) ===\n\n");
-    l1SizeSweep();
+    l1SizeSweep(runner);
     std::printf("\n");
-    realPrograms();
+    realPrograms(runner);
     std::printf(
         "\nShape checks: when the working set fits the first level, the "
         "tauD-vs-tau1\ndifference on every short-instruction fetch "

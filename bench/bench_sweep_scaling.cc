@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scaling study of the parallel sweep harness itself.
+ *
+ * Runs one fixed batch workload — every sample program on the
+ * conventional and DTB organizations — serially (--jobs=1) and on the
+ * full worker complement, reports host wall-clock per configuration
+ * and the speedup, and verifies the harness's central promise: the
+ * merged JSONL report is byte-identical at every job count.
+ *
+ * This is the one bench whose *numbers* (host seconds) legitimately
+ * vary run to run; the verdict lines ("identical: yes") and the
+ * report bytes themselves are deterministic. See docs/BENCHMARKS.md.
+ *
+ * Usage: bench_sweep_scaling [--jobs=N]   (N caps the parallel leg)
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace uhm;
+using namespace uhm::bench;
+
+namespace
+{
+
+std::vector<SweepPoint>
+batchWorkload()
+{
+    std::vector<SweepPoint> points;
+    for (const auto &sample : workload::samplePrograms()) {
+        for (MachineKind kind : {MachineKind::Conventional,
+                                 MachineKind::Dtb}) {
+            SweepPoint point;
+            point.label = sample.name;
+            point.program = hlr::compileSource(sample.source);
+            point.config = makeConfig(kind);
+            point.input = sample.input;
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
+/** Run the batch at @p jobs workers; returns (report, seconds). */
+std::pair<SweepReport, double>
+timedSweep(const std::vector<SweepPoint> &points, unsigned jobs)
+{
+    SweepRunner runner(jobs);
+    auto start = std::chrono::steady_clock::now();
+    SweepReport report = runSweep(runner, points);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return {std::move(report), elapsed.count()};
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = jobsFromArgs(argc, argv);
+    if (jobs == 0)
+        jobs = defaultJobs();
+
+    std::printf("=== Sweep harness scaling (%zu points: samples x "
+                "{conventional, dtb}) ===\n\n", batchWorkload().size());
+
+    std::vector<SweepPoint> points = batchWorkload();
+    auto [serial, serial_s] = timedSweep(points, 1);
+    auto [parallel, parallel_s] = timedSweep(points, jobs);
+
+    TextTable table("Wall-clock by worker count (host seconds; varies "
+                    "with the machine — the\nbyte-identity verdict "
+                    "below is the deterministic part)");
+    table.setHeader({"jobs", "seconds", "speedup"});
+    table.addRow({"1", TextTable::num(serial_s, 2), "1.00x"});
+    table.addRow({TextTable::num(static_cast<uint64_t>(jobs)),
+                  TextTable::num(parallel_s, 2),
+                  TextTable::num(serial_s / parallel_s, 2) + "x"});
+    table.print();
+
+    bool identical = serial.jsonl == parallel.jsonl;
+    std::printf("\nmerged JSONL report byte-identical across job "
+                "counts: %s\n", identical ? "yes" : "NO — BUG");
+    std::printf("merged dir instrs: %llu; merged counters: %llu names\n",
+                static_cast<unsigned long long>(
+                    serial.counters.get("machine.dir_instrs")),
+                static_cast<unsigned long long>(
+                    serial.counters.values().size()));
+    return identical ? 0 : 1;
+}

@@ -70,7 +70,7 @@ printFormula()
 }
 
 void
-printMeasured()
+printMeasured(SweepRunner &runner)
 {
     TextTable table(
         "Table 2 (measured): simulated F1 at steered (d, x) points, with "
@@ -78,48 +78,30 @@ printMeasured()
     table.setHeader({"d target", "x target", "d meas", "x meas", "hD",
                      "hc", "T1", "T2", "T3", "F1 meas", "F1 model"});
 
-    for (double d_target : analytic::paperDGrid()) {
-        for (double x_target : {5.0, 15.0, 30.0}) {
-            // Steer x with SEMWORK weight; each spin iteration costs
-            // ~4 micro-cycles and density is 0.25, so weight ~=
-            // (x_target - base_x) for the coarse baseline x ~ 14.
-            uint32_t weight = x_target > 14 ?
-                static_cast<uint32_t>(x_target - 14) : 0;
-            DirProgram prog = gridWorkload(weight);
+    std::vector<SteeredPoint> grid = steeredGrid();
+    std::vector<MeasuredPoint> points = measureSteeredGrid(runner, grid);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const MeasuredPoint &pt = points[i];
+        analytic::ModelParams p;
+        p.d = pt.d;
+        p.x = pt.x;
+        p.g = pt.g;
+        p.hD = pt.hD;
+        p.hc = pt.hc;
+        p.s1 = pt.s1;
+        p.s2 = pt.s2;
 
-            MachineConfig base;
-            base.costs.extraDecodeCycles = 0;
-            // Calibrate d via a probe run, then pad.
-            MeasuredPoint probe =
-                measurePoint(prog, EncodingScheme::Huffman, base);
-            if (probe.d < d_target) {
-                base.costs.extraDecodeCycles =
-                    static_cast<uint64_t>(d_target - probe.d + 0.5);
-            }
-            MeasuredPoint pt =
-                measurePoint(prog, EncodingScheme::Huffman, base);
-
-            analytic::ModelParams p;
-            p.d = pt.d;
-            p.x = pt.x;
-            p.g = pt.g;
-            p.hD = pt.hD;
-            p.hc = pt.hc;
-            p.s1 = pt.s1;
-            p.s2 = pt.s2;
-
-            table.addRow({TextTable::num(d_target, 0),
-                          TextTable::num(x_target, 0),
-                          TextTable::num(pt.d, 1),
-                          TextTable::num(pt.x, 1),
-                          TextTable::num(pt.hD, 3),
-                          TextTable::num(pt.hc, 3),
-                          TextTable::num(pt.t1, 1),
-                          TextTable::num(pt.t2, 1),
-                          TextTable::num(pt.t3, 1),
-                          TextTable::num(pt.f1(), 2),
-                          TextTable::num(analytic::f1(p), 2)});
-        }
+        table.addRow({TextTable::num(grid[i].dTarget, 0),
+                      TextTable::num(grid[i].xTarget, 0),
+                      TextTable::num(pt.d, 1),
+                      TextTable::num(pt.x, 1),
+                      TextTable::num(pt.hD, 3),
+                      TextTable::num(pt.hc, 3),
+                      TextTable::num(pt.t1, 1),
+                      TextTable::num(pt.t2, 1),
+                      TextTable::num(pt.t3, 1),
+                      TextTable::num(pt.f1(), 2),
+                      TextTable::num(analytic::f1(p), 2)});
     }
     table.print();
 }
@@ -127,15 +109,16 @@ printMeasured()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner runner(jobsFromArgs(argc, argv));
     std::printf("=== Table 2: F1 — cost of using the DTB hardware as a "
                 "plain instruction cache ===\n\n");
     printClosedForm();
     std::printf("\n");
     printFormula();
     std::printf("\n");
-    printMeasured();
+    printMeasured(runner);
     std::printf(
         "\nShape checks: F1 grows with d (decode work the DTB avoids) and "
         "falls as x\n(semantic work common to both) dilutes it.\n");

@@ -60,7 +60,7 @@ printFormula()
 }
 
 void
-printMeasured()
+printMeasured(SweepRunner &runner)
 {
     TextTable table(
         "Table 3 (measured): simulated F2 at steered (d, x) points, with "
@@ -68,61 +68,46 @@ printMeasured()
     table.setHeader({"d target", "x target", "d meas", "x meas", "hD",
                      "T1", "T2", "F2 meas", "F2 model"});
 
-    for (double d_target : analytic::paperDGrid()) {
-        for (double x_target : {5.0, 15.0, 30.0}) {
-            uint32_t weight = x_target > 14 ?
-                static_cast<uint32_t>(x_target - 14) : 0;
-            DirProgram prog = gridWorkload(weight);
+    std::vector<SteeredPoint> grid = steeredGrid();
+    std::vector<MeasuredPoint> points = measureSteeredGrid(runner, grid);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const MeasuredPoint &pt = points[i];
+        analytic::ModelParams p;
+        p.d = pt.d;
+        p.x = pt.x;
+        p.g = pt.g;
+        p.hD = pt.hD;
+        p.hc = pt.hc;
+        p.s1 = pt.s1;
+        p.s2 = pt.s2;
 
-            MachineConfig base;
-            MeasuredPoint probe =
-                measurePoint(prog, EncodingScheme::Huffman, base);
-            if (probe.d < d_target) {
-                base.costs.extraDecodeCycles =
-                    static_cast<uint64_t>(d_target - probe.d + 0.5);
-            }
-            MeasuredPoint pt =
-                measurePoint(prog, EncodingScheme::Huffman, base);
-
-            analytic::ModelParams p;
-            p.d = pt.d;
-            p.x = pt.x;
-            p.g = pt.g;
-            p.hD = pt.hD;
-            p.hc = pt.hc;
-            p.s1 = pt.s1;
-            p.s2 = pt.s2;
-
-            table.addRow({TextTable::num(d_target, 0),
-                          TextTable::num(x_target, 0),
-                          TextTable::num(pt.d, 1),
-                          TextTable::num(pt.x, 1),
-                          TextTable::num(pt.hD, 3),
-                          TextTable::num(pt.t1, 1),
-                          TextTable::num(pt.t2, 1),
-                          TextTable::num(pt.f2(), 2),
-                          TextTable::num(analytic::f2(p), 2)});
-        }
+        table.addRow({TextTable::num(grid[i].dTarget, 0),
+                      TextTable::num(grid[i].xTarget, 0),
+                      TextTable::num(pt.d, 1),
+                      TextTable::num(pt.x, 1),
+                      TextTable::num(pt.hD, 3),
+                      TextTable::num(pt.t1, 1),
+                      TextTable::num(pt.t2, 1),
+                      TextTable::num(pt.f2(), 2),
+                      TextTable::num(analytic::f2(p), 2)});
     }
     table.print();
 }
 
 void
-printRealPrograms()
+printRealPrograms(SweepRunner &runner)
 {
     TextTable table(
         "Table 3 (compiled Contour programs, Huffman-encoded DIR): "
         "measured F2");
     table.setHeader({"program", "instrs", "d", "x", "hD", "T1", "T2",
                      "F2 meas"});
-    for (const char *name : {"sieve", "fib", "qsort", "matmul",
-                             "queens", "collatz"}) {
-        const auto &sample = workload::sampleByName(name);
-        DirProgram prog = hlr::compileSource(sample.source);
-        MachineConfig base;
-        MeasuredPoint pt = measurePoint(prog, EncodingScheme::Huffman,
-                                        base, sample.input);
-        table.addRow({name, TextTable::num(pt.dirInstrs),
+    std::vector<std::string> names = {"sieve", "fib", "qsort", "matmul",
+                                      "queens", "collatz"};
+    std::vector<MeasuredPoint> points = measureSamples(runner, names);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const MeasuredPoint &pt = points[i];
+        table.addRow({names[i], TextTable::num(pt.dirInstrs),
                       TextTable::num(pt.d, 1), TextTable::num(pt.x, 1),
                       TextTable::num(pt.hD, 3),
                       TextTable::num(pt.t1, 1),
@@ -135,16 +120,17 @@ printRealPrograms()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner runner(jobsFromArgs(argc, argv));
     std::printf("=== Table 3: F2 — cost of not using a DTB ===\n\n");
     printClosedForm();
     std::printf("\n");
     printFormula();
     std::printf("\n");
-    printMeasured();
+    printMeasured(runner);
     std::printf("\n");
-    printRealPrograms();
+    printRealPrograms(runner);
     std::printf(
         "\nShape checks: F2 > 0 everywhere (the DTB always wins over the "
         "conventional\nUHM), growing with d and shrinking with x.\n");

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Multi-program batch throughput: the "heavy traffic" scenario.
+ *
+ * Treats the whole sample corpus as one batch of independent jobs —
+ * every program on all four machine organizations — and pushes it
+ * through the sweep harness the way a translation service would: many
+ * concurrent simulations, per-job observability isolated per worker,
+ * one deterministic merged ledger at the end.
+ *
+ * All table and counter output is byte-identical for any --jobs value;
+ * the host wall-clock goes to stderr where it cannot perturb diffs.
+ *
+ * Usage: bench_workload_batch [--jobs=N]
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace uhm;
+using namespace uhm::bench;
+
+int
+main(int argc, char **argv)
+{
+    SweepRunner runner(jobsFromArgs(argc, argv));
+
+    const std::vector<MachineKind> kinds = {
+        MachineKind::Conventional, MachineKind::Cached, MachineKind::Dtb,
+        MachineKind::Dtb2};
+
+    std::vector<SweepPoint> points;
+    for (const auto &sample : workload::samplePrograms()) {
+        for (MachineKind kind : kinds) {
+            SweepPoint point;
+            point.label = sample.name;
+            point.program = hlr::compileSource(sample.source);
+            point.config = makeConfig(kind);
+            point.input = sample.input;
+            points.push_back(std::move(point));
+        }
+    }
+
+    std::printf("=== Batch workload: %zu jobs (%zu programs x %zu "
+                "organizations) ===\n\n",
+                points.size(), points.size() / kinds.size(),
+                kinds.size());
+
+    auto start = std::chrono::steady_clock::now();
+    SweepReport report = runSweep(runner, points);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    TextTable table("Cycles per DIR instruction by organization "
+                    "(huffman DIR)");
+    table.setHeader({"program", "conventional", "cached", "dtb",
+                     "dtb2"});
+    for (size_t i = 0; i < points.size(); i += kinds.size()) {
+        std::vector<std::string> row = {points[i].label};
+        for (size_t k = 0; k < kinds.size(); ++k) {
+            row.push_back(TextTable::num(
+                report.results[i + k].avgInterpTime(), 2));
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    const obs::MergedCounters &merged = report.counters;
+    std::printf("\nMerged ledger over the whole batch (point-order "
+                "merge; see src/obs/merge.hh):\n");
+    std::printf("  simulated DIR instrs : %llu\n",
+                static_cast<unsigned long long>(
+                    merged.get("machine.dir_instrs")));
+    std::printf("  simulated cycles     : level1 %llu + level2 %llu "
+                "memory accesses\n",
+                static_cast<unsigned long long>(
+                    merged.get("mem.level1_accesses")),
+                static_cast<unsigned long long>(
+                    merged.get("mem.level2_accesses")));
+    std::printf("  dtb traffic          : %llu hits / %llu misses / "
+                "%llu evictions\n",
+                static_cast<unsigned long long>(merged.get("dtb.hits")),
+                static_cast<unsigned long long>(
+                    merged.get("dtb.misses")),
+                static_cast<unsigned long long>(
+                    merged.get("dtb.evictions")));
+
+    std::fprintf(stderr, "# %zu jobs on %u workers: %.2f s host "
+                 "wall-clock\n",
+                 points.size(), runner.jobs(), elapsed.count());
+    return 0;
+}

@@ -4,6 +4,21 @@
  *
  * Usage:
  *   uhm_cli [options] <sample-name | path/to/program.ctr>
+ *   uhm_cli sweep [options] [program ...]
+ *
+ * The sweep subcommand runs a batch of programs concurrently on the
+ * parallel sweep harness (bench/bench_common.hh) and emits a JSONL
+ * report — one "sweep_point" line per program in argument order plus
+ * one "sweep_summary" line with the merged counters. The report is
+ * byte-identical for any --jobs value. Programs default to the whole
+ * sample corpus; the pseudo-program "synthetic" adds the phased-loop
+ * grid workload, generated from --seed.
+ *
+ * Sweep options:
+ *   --jobs=<n>             worker threads (default: all cores)
+ *   --seed=<n>             seed for the "synthetic" workload (1978)
+ *   --machine=/--encoding= as below, applied to every point
+ *   --out=<file>           write the JSONL report to <file> (stdout)
  *
  * Options:
  *   --machine=<conventional|cached|dtb|dtb2>   (default dtb)
@@ -37,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "dir/asm.hh"
 #include "dir/fusion.hh"
 #include "dir/serialize.hh"
@@ -178,11 +194,86 @@ loadProgram(const std::string &arg, std::vector<int64_t> &default_input)
     return uhm::hlr::compileSource(sample.source);
 }
 
+/**
+ * The sweep subcommand: run a batch of programs concurrently and emit
+ * the merged JSONL report. argv[1] is "sweep"; options follow.
+ */
+int
+runSweepCommand(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    uint64_t seed = 1978;
+    uhm::MachineKind kind = uhm::MachineKind::Dtb;
+    uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
+    std::string out_path;
+    std::vector<std::string> programs;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--jobs=", 0) == 0)
+            jobs = static_cast<unsigned>(std::stoul(value("--jobs=")));
+        else if (arg.rfind("--seed=", 0) == 0)
+            seed = std::stoull(value("--seed="));
+        else if (arg.rfind("--machine=", 0) == 0)
+            kind = parseMachine(value("--machine="));
+        else if (arg.rfind("--encoding=", 0) == 0)
+            scheme = parseEncoding(value("--encoding="));
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = value("--out=");
+        else if (arg.rfind("--", 0) == 0)
+            uhm::fatal("unknown sweep option '%s'", arg.c_str());
+        else
+            programs.push_back(arg);
+    }
+    if (programs.empty()) {
+        for (const auto &sample : uhm::workload::samplePrograms())
+            programs.push_back(sample.name);
+    }
+
+    std::vector<uhm::bench::SweepPoint> points;
+    for (const std::string &name : programs) {
+        uhm::bench::SweepPoint point;
+        point.label = name;
+        if (name == "synthetic") {
+            point.program = uhm::bench::gridWorkload(2, seed);
+        } else {
+            point.program = loadProgram(name, point.input);
+        }
+        point.scheme = scheme;
+        point.config.kind = kind;
+        points.push_back(std::move(point));
+    }
+
+    uhm::bench::SweepRunner runner(jobs);
+    uhm::bench::SweepReport report =
+        uhm::bench::runSweep(runner, points);
+
+    if (out_path.empty()) {
+        std::fputs(report.jsonl.c_str(), stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out)
+            uhm::fatal("cannot open '%s'", out_path.c_str());
+        out << report.jsonl;
+    }
+    std::fprintf(stderr, "# sweep: %zu points on %u workers, %llu DIR "
+                 "instrs simulated\n",
+                 points.size(), runner.jobs(),
+                 static_cast<unsigned long long>(
+                     report.counters.get("machine.dir_instrs")));
+    return 0;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 try {
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return runSweepCommand(argc, argv);
     Options opts = parseArgs(argc, argv);
     std::vector<int64_t> default_input;
     uhm::DirProgram prog = loadProgram(opts.program, default_input);

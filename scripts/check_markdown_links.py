@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links do not dangle.
+
+Scans the repository's markdown files for inline links and validates
+every link that points inside the repo:
+
+  - relative file links must name an existing file or directory
+    (resolved against the linking file's directory);
+  - fragment links (``file.md#anchor`` or ``#anchor``) must match a
+    heading in the target file, using GitHub's anchor slugging.
+
+External links (http/https/mailto) are ignored — this is a hermetic
+check, suitable for CI without network access.
+
+Usage: check_markdown_links.py [repo_root]
+Exit status: 0 if every intra-repo link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Files/directories never scanned or resolved against.
+SKIP_DIRS = {".git", "build", "build-tsan", ".github"}
+# Working notes, not documentation; their links aren't contractual.
+SKIP_FILES = {"ISSUE.md", "SNIPPETS.md", "PAPERS.md"}
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, spaces to hyphens,
+    punctuation (except hyphens/underscores) dropped."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # unwrap links
+    slug = heading.strip().lower().replace(" ", "-")
+    return re.sub(r"[^\w\-]", "", slug)
+
+
+def collect_anchors(path: str) -> set:
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = github_anchor(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def iter_links(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in INLINE_LINK.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    anchor_cache = {}
+    errors = []
+    checked = 0
+
+    for md in sorted(markdown_files(root)):
+        rel_md = os.path.relpath(md, root)
+        for lineno, target in iter_links(md):
+            if re.match(r"^[a-z][a-z0-9+.\-]*:", target):  # http:, mailto:
+                continue
+            checked += 1
+            target_path, _, fragment = target.partition("#")
+            if target_path:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md), target_path))
+            else:
+                resolved = md  # same-file fragment
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}:{lineno}: broken link "
+                              f"'{target}' (no such file)")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = collect_anchors(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    errors.append(f"{rel_md}:{lineno}: broken anchor "
+                                  f"'{target}'")
+
+    for err in errors:
+        print(err)
+    print(f"checked {checked} intra-repo links, "
+          f"{len(errors)} broken", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
