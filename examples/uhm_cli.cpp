@@ -24,6 +24,12 @@
  *   --machine=<conventional|cached|dtb|dtb2>   (default dtb)
  *   --encoding=<expanded|packed|contextual|huffman|pair-huffman|
  *               quantized>                      (default huffman)
+ *   --decode=<tree|table>  host-side Huffman decode implementation
+ *                          (default table). Simulated cycles and all
+ *                          outputs are identical either way; the tree
+ *                          walk is the reference path, kept as an
+ *                          escape hatch for bisecting fast-path
+ *                          regressions. Accepted by sweep too.
  *   --input=<comma-separated ints>              (read-statement input)
  *   --dtb-bytes=<n>        DTB buffer capacity  (default 4096)
  *   --assoc=<n>            DTB/cache ways, 0 = full (default 4)
@@ -57,6 +63,7 @@
 #include "dir/fusion.hh"
 #include "dir/serialize.hh"
 #include "hlr/compiler.hh"
+#include "support/huffman.hh"
 #include "support/logging.hh"
 #include "uhm/machine.hh"
 #include "uhm/profile.hh"
@@ -108,6 +115,19 @@ parseEncoding(const std::string &name)
     uhm::fatal("unknown encoding '%s'", name.c_str());
 }
 
+/** Apply --decode=<tree|table> to the process-wide decode kind. */
+void
+applyDecodeKind(const std::string &name)
+{
+    if (name == "tree")
+        uhm::setHuffmanDecodeKind(uhm::HuffmanDecodeKind::Tree);
+    else if (name == "table")
+        uhm::setHuffmanDecodeKind(uhm::HuffmanDecodeKind::Table);
+    else
+        uhm::fatal("unknown decode kind '%s' (tree|table)",
+                   name.c_str());
+}
+
 std::vector<int64_t>
 parseInts(const std::string &list)
 {
@@ -132,6 +152,8 @@ parseArgs(int argc, char **argv)
             opts.kind = parseMachine(value("--machine="));
         else if (arg.rfind("--encoding=", 0) == 0)
             opts.scheme = parseEncoding(value("--encoding="));
+        else if (arg.rfind("--decode=", 0) == 0)
+            applyDecodeKind(value("--decode="));
         else if (arg.rfind("--input=", 0) == 0)
             opts.input = parseInts(value("--input="));
         else if (arg.rfind("--dtb-bytes=", 0) == 0)
@@ -221,6 +243,8 @@ runSweepCommand(int argc, char **argv)
             kind = parseMachine(value("--machine="));
         else if (arg.rfind("--encoding=", 0) == 0)
             scheme = parseEncoding(value("--encoding="));
+        else if (arg.rfind("--decode=", 0) == 0)
+            applyDecodeKind(value("--decode="));
         else if (arg.rfind("--out=", 0) == 0)
             out_path = value("--out=");
         else if (arg.rfind("--", 0) == 0)

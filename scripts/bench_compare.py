@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag wall-clock regressions.
+
+Walks both documents in parallel and prints a per-metric delta for
+every numeric leaf (nested objects and arrays included; array elements
+are matched by their "scheme"/"name"/"label" key when present, by
+position otherwise). Metrics whose name marks them as wall-clock
+timings (``*_ns_per_instr``, ``*_ms``, ``*_ns``) are regression-checked:
+if the candidate is more than the threshold slower than the baseline,
+the script exits non-zero and lists the offenders.
+
+Speedup-style metrics (``speedup``, ``*_speedup``) are reported but not
+gated — they are ratios of two noisy timings and swing twice as hard as
+either input. Counting metrics (``instrs``, ``iters``, ...) are
+compared for drift but never gate either.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+Exit status: 0 if no timing regressed past the threshold, 1 otherwise,
+2 on malformed input.
+"""
+
+import json
+import sys
+
+# Suffixes that mark a metric as a host wall-clock timing (gated).
+TIMING_SUFFIXES = ("_ns_per_instr", "_ms", "_ns")
+# Metric names reported but never gated.
+UNGATED = ("speedup",)
+
+
+def is_timing(name):
+    return name.endswith(TIMING_SUFFIXES)
+
+
+def is_ungated(name):
+    return name == "speedup" or name.endswith("_speedup")
+
+
+def element_key(element, index):
+    """Stable identity of an array element for cross-file matching."""
+    if isinstance(element, dict):
+        for key in ("scheme", "name", "label"):
+            if key in element:
+                return str(element[key])
+    return str(index)
+
+
+def walk(base, cand, path, rows):
+    """Collect (path, base, cand) rows for every shared numeric leaf."""
+    if isinstance(base, dict) and isinstance(cand, dict):
+        for key in base:
+            if key in cand:
+                walk(base[key], cand[key], path + [key], rows)
+    elif isinstance(base, list) and isinstance(cand, list):
+        cand_by_key = {
+            element_key(el, i): el for i, el in enumerate(cand)
+        }
+        for i, el in enumerate(base):
+            key = element_key(el, i)
+            if key in cand_by_key:
+                walk(el, cand_by_key[key], path + [key], rows)
+    elif isinstance(base, (int, float)) and not isinstance(base, bool) \
+            and isinstance(cand, (int, float)):
+        rows.append((".".join(path), float(base), float(cand)))
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(paths[0]) as f:
+            base = json.load(f)
+        with open(paths[1]) as f:
+            cand = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("bench_compare: %s" % e, file=sys.stderr)
+        return 2
+
+    rows = []
+    walk(base, cand, [], rows)
+    if not rows:
+        print("bench_compare: no shared numeric metrics", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print("%-55s %12s %12s %9s" % ("metric", "baseline", "candidate",
+                                   "delta"))
+    for name, b, c in rows:
+        delta = (c - b) / b if b else 0.0
+        gate = ""
+        if is_timing(name) and not is_ungated(name):
+            if delta > threshold:
+                regressions.append((name, b, c, delta))
+                gate = "  << REGRESSION"
+        print("%-55s %12.4g %12.4g %+8.1f%%%s"
+              % (name, b, c, delta * 100, gate))
+
+    if regressions:
+        print("\n%d wall-clock metric(s) regressed more than %.0f%%:"
+              % (len(regressions), threshold * 100))
+        for name, b, c, delta in regressions:
+            print("  %s: %.4g -> %.4g (%+.1f%%)"
+                  % (name, b, c, delta * 100))
+        return 1
+    print("\nno wall-clock regression beyond %.0f%%" % (threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

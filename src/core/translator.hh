@@ -43,16 +43,92 @@ struct Translation
     uint64_t genSteps = 0;
 };
 
+/**
+ * Memoizes decodeAt() results for one immutable image.
+ *
+ * The simulated machine re-decodes a DIR instruction on every
+ * conventional fetch and every DTB miss — that re-decoding *cost* is
+ * the paper's whole subject and is charged unchanged from the cached
+ * DecodeResult. The host, however, only pays the bitstream walk once
+ * per distinct pc; a memo hit replays the stored result. Slots are
+ * indexed by instruction index, so the memo needs no invalidation: the
+ * image is immutable and owns the pc -> index mapping.
+ */
+class DecodeMemo
+{
+  public:
+    /** @param image the static representation (must outlive this). */
+    explicit DecodeMemo(const EncodedDir &image)
+        : image_(&image), valid_(image.numInstrs(), 0),
+          results_(image.numInstrs())
+    {}
+
+    /** Decode the instruction at @p bit_addr, cached. */
+    const DecodeResult &
+    decodeAt(uint64_t bit_addr)
+    {
+        size_t idx = image_->indexOfBitAddr(bit_addr);
+        if (!valid_[idx]) {
+            results_[idx] = image_->decodeAt(bit_addr);
+            valid_[idx] = 1;
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        return results_[idx];
+    }
+
+    const EncodedDir &image() const { return *image_; }
+
+    /** Memo hits (host-side replays) so far. */
+    uint64_t hits() const { return hits_; }
+
+    /** Memo misses (actual bitstream decodes) so far. */
+    uint64_t misses() const { return misses_; }
+
+  private:
+    const EncodedDir *image_;
+    std::vector<uint8_t> valid_;
+    std::vector<DecodeResult> results_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
 /** Translates DIR instructions to PSDER on DTB misses. */
 class DynamicTranslator
 {
   public:
     /** @param image the static representation (must outlive this). */
-    explicit DynamicTranslator(const EncodedDir &image) : image_(&image) {}
+    explicit DynamicTranslator(const EncodedDir &image)
+        : image_(&image), valid_(image.numInstrs(), 0),
+          memo_(image.numInstrs())
+    {}
 
-    /** Translate the DIR instruction at @p dir_bit_addr. */
+    /**
+     * Translate the DIR instruction at @p dir_bit_addr.
+     *
+     * Memoized: a repeated DTB miss on a previously-seen pc replays the
+     * cached translation instead of re-walking the bitstream and
+     * re-lowering the staging. The cached Translation carries the same
+     * decodeCost/bits/genSteps the cold path produced, so simulated
+     * cycle accounting is identical on both paths.
+     */
+    const Translation &
+    translate(uint64_t dir_bit_addr)
+    {
+        size_t idx = image_->indexOfBitAddr(dir_bit_addr);
+        if (!valid_[idx]) {
+            memo_[idx] = translateCold(dir_bit_addr);
+            valid_[idx] = 1;
+        } else {
+            ++memoHits_;
+        }
+        return memo_[idx];
+    }
+
+    /** The unmemoized translation path (benchmarks, tests). */
     Translation
-    translate(uint64_t dir_bit_addr) const
+    translateCold(uint64_t dir_bit_addr) const
     {
         DecodeResult res = image_->decodeAt(dir_bit_addr);
         Staging st = stageInstruction(res.instr, *image_, res.index);
@@ -64,10 +140,16 @@ class DynamicTranslator
         return tr;
     }
 
+    /** Translations replayed from the memo so far. */
+    uint64_t memoHits() const { return memoHits_; }
+
     const EncodedDir &image() const { return *image_; }
 
   private:
     const EncodedDir *image_;
+    std::vector<uint8_t> valid_;
+    std::vector<Translation> memo_;
+    uint64_t memoHits_ = 0;
 };
 
 } // namespace uhm

@@ -91,9 +91,9 @@ class ContextualDir : public EncodedDir
         res.instr.op = static_cast<Op>(opv);
         res.cost.fieldExtracts += 1;
 
-        const OpInfo &info = opInfo(res.instr.op);
-        for (size_t k = 0; k < info.operands.size(); ++k) {
-            OperandKind kind = info.operands[k];
+        const OperandKinds &ops = operandsOf(res.instr.op);
+        for (size_t k = 0; k < ops.size(); ++k) {
+            OperandKind kind = ops[k];
             unsigned width = fieldWidth(ctr, kind, res.instr, k);
             if (kind == OperandKind::Depth || kind == OperandKind::Slot) {
                 // The width itself had to be looked up first.

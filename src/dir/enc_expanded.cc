@@ -58,10 +58,10 @@ class ExpandedDir : public EncodedDir
         res.instr.op = static_cast<Op>(opv);
         res.cost.fieldExtracts += 1;
 
-        const OpInfo &info = opInfo(res.instr.op);
-        for (size_t k = 0; k < info.operands.size(); ++k) {
+        const OperandKinds &ops = operandsOf(res.instr.op);
+        for (size_t k = 0; k < ops.size(); ++k) {
             uint64_t v = br.read(wordBits);
-            res.instr.operands[k] = info.operands[k] == OperandKind::Imm ?
+            res.instr.operands[k] = ops[k] == OperandKind::Imm ?
                 zigzagDecode(v) : static_cast<int64_t>(v);
             res.cost.fieldExtracts += 1;
         }

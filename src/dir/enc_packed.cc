@@ -83,10 +83,10 @@ class PackedDir : public EncodedDir
         res.instr.op = static_cast<Op>(opv);
         res.cost.fieldExtracts += 1;
 
-        const OpInfo &info = opInfo(res.instr.op);
-        for (size_t k = 0; k < info.operands.size(); ++k) {
-            uint64_t v = br.read(widthOf(info.operands[k]));
-            res.instr.operands[k] = info.operands[k] == OperandKind::Imm ?
+        const OperandKinds &ops = operandsOf(res.instr.op);
+        for (size_t k = 0; k < ops.size(); ++k) {
+            uint64_t v = br.read(widthOf(ops[k]));
+            res.instr.operands[k] = ops[k] == OperandKind::Imm ?
                 zigzagDecode(v) : static_cast<int64_t>(v);
             res.cost.fieldExtracts += 1;
         }

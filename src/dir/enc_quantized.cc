@@ -47,6 +47,8 @@ struct QuantCode
 {
     HuffmanCode code;
     std::vector<unsigned> lengths;
+    /** Probe count per codeword length (index = length in bits). */
+    std::vector<uint8_t> probesByLen;
 
     /** Fixed-width probes needed to decode a codeword of @p len. */
     uint64_t
@@ -67,6 +69,9 @@ buildCode(const std::vector<uint64_t> &freqs)
     QuantCode qc;
     qc.lengths = allowedLengthsFor(freqs.size());
     qc.code = HuffmanCode::buildQuantized(freqs, qc.lengths);
+    qc.probesByLen.assign(qc.code.maxCodeLength() + 1, 0);
+    for (unsigned len = 1; len <= qc.code.maxCodeLength(); ++len)
+        qc.probesByLen[len] = static_cast<uint8_t>(qc.probesFor(len));
     return qc;
 }
 
@@ -132,21 +137,53 @@ class QuantizedDir : public EncodedDir
 
         DecodeResult res;
         res.index = indexOfBitAddr(bit_addr);
+        const HuffmanDecodeKind kind = huffmanDecodeKind();
 
-        uint64_t token = decodeField(br, opCode_, res.cost);
+        uint64_t token = decodeField(br, opCode_, res.cost, kind);
         uhm_assert(token < opOfToken_.size(), "bad opcode token %llu",
                    static_cast<unsigned long long>(token));
         res.instr.op = static_cast<Op>(opOfToken_[token]);
 
-        const OpInfo &info = opInfo(res.instr.op);
-        for (size_t k = 0; k < info.operands.size(); ++k) {
-            size_t ki = static_cast<size_t>(info.operands[k]);
-            uint64_t t = decodeField(br, tokenCodes_[ki], res.cost);
-            res.instr.operands[k] = tokens_[ki].values.at(t);
+        const OperandKinds &ops = operandsOf(res.instr.op);
+        for (size_t k = 0; k < ops.size(); ++k) {
+            size_t ki = static_cast<size_t>(ops[k]);
+            uint64_t t = decodeField(br, tokenCodes_[ki], res.cost, kind);
+            // In range: the token came out of this kind's own code.
+            res.instr.operands[k] = tokens_[ki].values[t];
             res.cost.tableLookups += 1;
         }
         res.nextBitAddr = br.pos();
         return res;
+    }
+
+    void
+    decodeAll(std::vector<DecodeResult> &out) const override
+    {
+        out.resize(bitAddrs_.size());
+        BitReader br(bytes_.data(), bitSize_);
+        const HuffmanDecodeKind kind = huffmanDecodeKind();
+        for (size_t i = 0; i < out.size(); ++i) {
+            DecodeResult &res = out[i];
+            res.index = i;
+            res.cost = {};
+            res.instr.operands = {};
+
+            uint64_t token = decodeField(br, opCode_, res.cost, kind);
+            uhm_assert(token < opOfToken_.size(),
+                       "bad opcode token %llu",
+                       static_cast<unsigned long long>(token));
+            res.instr.op = static_cast<Op>(opOfToken_[token]);
+
+            const OperandKinds &ops = operandsOf(res.instr.op);
+            for (size_t k = 0; k < ops.size(); ++k) {
+                size_t ki = static_cast<size_t>(ops[k]);
+                uint64_t t =
+                    decodeField(br, tokenCodes_[ki], res.cost, kind);
+                res.instr.operands[k] = tokens_[ki].values[t];
+                res.cost.tableLookups += 1;
+            }
+            res.nextBitAddr = br.pos();
+        }
     }
 
     uint64_t
@@ -165,11 +202,14 @@ class QuantizedDir : public EncodedDir
      * length-class probe instead of one tree edge per bit.
      */
     uint64_t
-    decodeField(BitReader &br, const QuantCode &qc,
-                DecodeCost &cost) const
+    decodeField(BitReader &br, const QuantCode &qc, DecodeCost &cost,
+                HuffmanDecodeKind kind) const
     {
-        uint64_t symbol = qc.code.decode(br);
-        cost.fieldExtracts += qc.probesFor(qc.code.lengthOf(symbol));
+        size_t before = br.pos();
+        uint64_t symbol = qc.code.decode(br, nullptr, kind);
+        // The cursor advanced by exactly the codeword length, so the
+        // probe charge is one precomputed lookup away.
+        cost.fieldExtracts += qc.probesByLen[br.pos() - before];
         return symbol;
     }
 

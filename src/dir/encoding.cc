@@ -43,8 +43,39 @@ allEncodingSchemes()
     return all;
 }
 
+void
+EncodedDir::buildAddrIndex() const
+{
+    std::lock_guard<std::mutex> lock(addrIndexMutex_);
+    if (addrIndexReady_.load(std::memory_order_relaxed))
+        return;
+    // A flat table costs four bytes per image *bit*; cap it at 16 MiB
+    // of host memory (every sample image is a few kilobits). Larger
+    // images keep the binary-search path.
+    constexpr uint64_t maxDirectBits = uint64_t{1} << 22;
+    if (bitSize_ < maxDirectBits && bitAddrs_.size() < UINT32_MAX) {
+        addrIndex_.assign(static_cast<size_t>(bitSize_) + 1, UINT32_MAX);
+        for (size_t i = 0; i < bitAddrs_.size(); ++i)
+            addrIndex_[bitAddrs_[i]] = static_cast<uint32_t>(i);
+    }
+    addrIndexReady_.store(true, std::memory_order_release);
+}
+
+void
+EncodedDir::decodeAll(std::vector<DecodeResult> &out) const
+{
+    out.resize(bitAddrs_.size());
+    if (out.empty())
+        return;
+    uint64_t addr = bitAddrs_.front();
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = decodeAt(addr);
+        addr = out[i].nextBitAddr;
+    }
+}
+
 size_t
-EncodedDir::indexOfBitAddr(uint64_t bit_addr) const
+EncodedDir::indexOfBitAddrSlow(uint64_t bit_addr) const
 {
     auto it = std::lower_bound(bitAddrs_.begin(), bitAddrs_.end(),
                                bit_addr);

@@ -29,13 +29,17 @@
 #ifndef UHM_DIR_ENCODING_HH
 #define UHM_DIR_ENCODING_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dir/program.hh"
 #include "support/bitstream.hh"
+#include "support/logging.hh"
 
 namespace uhm
 {
@@ -113,6 +117,16 @@ class EncodedDir
     virtual DecodeResult decodeAt(uint64_t bit_addr) const = 0;
 
     /**
+     * Decode the whole image front to back into @p out (resized to
+     * numInstrs()). Semantically identical to calling decodeAt() on
+     * every instruction boundary, but encoders that can stream — one
+     * BitReader carried across instructions, indices assigned
+     * sequentially — override it to skip the per-call setup. This is
+     * the bulk-decode path bench_decode times.
+     */
+    virtual void decodeAll(std::vector<DecodeResult> &out) const;
+
+    /**
      * Size in bits of the decoding metadata the interpreter must keep
      * resident (field-width tables, decode trees, token tables). This is
      * the "size of the interpreter ... increases" axis of Figure 1.
@@ -129,11 +143,29 @@ class EncodedDir
     uint64_t
     bitAddrOf(size_t index) const
     {
-        return bitAddrs_.at(index);
+        uhm_assert(index < bitAddrs_.size(),
+                   "instruction index %zu out of range", index);
+        return bitAddrs_[index];
     }
 
     /** Index of the instruction at @p bit_addr (must be exact). */
-    size_t indexOfBitAddr(uint64_t bit_addr) const;
+    size_t
+    indexOfBitAddr(uint64_t bit_addr) const
+    {
+        // Acquire pairs with the release in buildAddrIndex(); after the
+        // first lookup this is one predictable branch on a hot flag.
+        if (!addrIndexReady_.load(std::memory_order_acquire))
+            buildAddrIndex();
+        if (!addrIndex_.empty()) {
+            uint32_t idx = bit_addr < addrIndex_.size() ?
+                addrIndex_[bit_addr] : UINT32_MAX;
+            uhm_assert(idx != UINT32_MAX,
+                       "bit address %llu is not an instruction boundary",
+                       static_cast<unsigned long long>(bit_addr));
+            return idx;
+        }
+        return indexOfBitAddrSlow(bit_addr);
+    }
 
     /** Number of instructions in the image. */
     size_t numInstrs() const { return bitAddrs_.size(); }
@@ -156,7 +188,20 @@ class EncodedDir
   protected:
     EncodedDir(EncodingScheme scheme, const DirProgram &program)
         : scheme_(scheme), program_(&program)
-    {}
+    {
+        for (size_t op = 0; op < numOps; ++op)
+            operandsOf_[op] = opInfo(static_cast<Op>(op)).operands;
+    }
+
+    /**
+     * opInfo(op).operands, cached per image so decode inner loops index
+     * a flat array instead of making the out-of-line opInfo() call.
+     */
+    const OperandKinds &
+    operandsOf(Op op) const
+    {
+        return operandsOf_[static_cast<size_t>(op)];
+    }
 
     EncodingScheme scheme_;
     const DirProgram *program_;
@@ -166,6 +211,26 @@ class EncodedDir
     uint64_t bitSize_ = 0;
     /** Bit address of each instruction, ascending. */
     std::vector<uint64_t> bitAddrs_;
+    /** Flat opcode -> operand-kind list (see operandsOf()). */
+    std::array<OperandKinds, numOps> operandsOf_{};
+
+  private:
+    /**
+     * Direct bit-addr -> instruction-index map, built once on first
+     * lookup (the encoder subclass constructors fill bitAddrs_ last, so
+     * construction cannot build it). Stays empty for images too large
+     * for a flat table, which fall back to binary search over
+     * bitAddrs_. Thread-safe: a mutex serializes builders and
+     * addrIndexReady_ publishes the result.
+     */
+    void buildAddrIndex() const;
+
+    /** Binary-search fallback for images beyond the flat-table cap. */
+    size_t indexOfBitAddrSlow(uint64_t bit_addr) const;
+
+    mutable std::vector<uint32_t> addrIndex_;
+    mutable std::atomic<bool> addrIndexReady_{false};
+    mutable std::mutex addrIndexMutex_;
 };
 
 /**

@@ -19,8 +19,8 @@ opTable()
     static const std::array<OpInfo, numOps> table = [] {
         std::array<OpInfo, numOps> t{};
         auto set = [&](Op op, const char *name,
-                       std::vector<OperandKind> operands, int delta) {
-            t[static_cast<size_t>(op)] = {name, std::move(operands), delta};
+                       OperandKinds operands, int delta) {
+            t[static_cast<size_t>(op)] = {name, operands, delta};
         };
         set(Op::PUSHC,  "PUSHC",  {K::Imm}, 1);
         set(Op::PUSHL,  "PUSHL",  {K::Depth, K::Slot}, 1);

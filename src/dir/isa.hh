@@ -97,13 +97,39 @@ enum class OperandKind : uint8_t
 constexpr size_t numOperandKinds =
     static_cast<size_t>(OperandKind::NUM_KINDS);
 
+/**
+ * Inline fixed-capacity list of operand kinds. DIR instructions carry
+ * at most four operand fields; keeping the kinds inside OpInfo rather
+ * than behind a heap vector keeps the per-decode operand walk inside
+ * one cache line of the static opcode table.
+ */
+class OperandKinds
+{
+  public:
+    OperandKinds() = default;
+    OperandKinds(std::initializer_list<OperandKind> kinds)
+    {
+        for (OperandKind k : kinds)
+            kinds_[size_++] = k;
+    }
+
+    size_t size() const { return size_; }
+    OperandKind operator[](size_t i) const { return kinds_[i]; }
+    const OperandKind *begin() const { return kinds_; }
+    const OperandKind *end() const { return kinds_ + size_; }
+
+  private:
+    OperandKind kinds_[4]{};
+    uint8_t size_ = 0;
+};
+
 /** Static description of one opcode. */
 struct OpInfo
 {
     /** Mnemonic. */
     const char *name;
     /** Operand field kinds, in encoding order. */
-    std::vector<OperandKind> operands;
+    OperandKinds operands;
     /** Net change in operand-stack depth (calls/returns excluded). */
     int stackDelta;
 };

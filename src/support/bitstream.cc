@@ -1,9 +1,30 @@
 #include "support/bitstream.hh"
 
+#include <cstring>
+
 #include "support/logging.hh"
 
 namespace uhm
 {
+
+namespace
+{
+
+/** Byte-swap to interpret 8 little-endian-loaded bytes MSB-first. */
+inline uint64_t
+bigEndian64(uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(v);
+#else
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i)
+        r = (r << 8) | ((v >> (8 * i)) & 0xff);
+    return r;
+#endif
+}
+
+} // anonymous namespace
 
 void
 BitWriter::write(uint64_t value, unsigned width)
@@ -25,6 +46,44 @@ BitWriter::write(uint64_t value, unsigned width)
 }
 
 uint64_t
+BitReader::refillWindow(size_t bit_pos) const
+{
+    size_t byte = bit_pos >> 3;
+    unsigned shift = bit_pos & 7;
+    size_t nbytes = (bitSize_ + 7) >> 3;
+
+    uint64_t hi;
+    uint8_t next;
+    if (byte + 9 <= nbytes) {
+        // Fast path: the window lies fully inside the image.
+        std::memcpy(&hi, data_ + byte, 8);
+        hi = bigEndian64(hi);
+        next = data_[byte + 8];
+    } else {
+        // Tail: gather the available bytes and zero-pad the rest
+        // instead of loading past the last word of the image.
+        hi = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            hi <<= 8;
+            if (byte + i < nbytes)
+                hi |= data_[byte + i];
+        }
+        next = byte + 8 < nbytes ? data_[byte + 8] : 0;
+    }
+    uint64_t w = shift == 0 ?
+        hi : (hi << shift) | (static_cast<uint64_t>(next) >> (8 - shift));
+
+    // Bits at or past bitSize_ must read as zero even when the final
+    // byte of a wrapped image carries garbage below the stream's end.
+    if (bit_pos + 64 > bitSize_) {
+        unsigned valid = bit_pos < bitSize_ ?
+            static_cast<unsigned>(bitSize_ - bit_pos) : 0;
+        w = valid == 0 ? 0 : (w >> (64 - valid)) << (64 - valid);
+    }
+    return w;
+}
+
+uint64_t
 BitReader::read(unsigned width)
 {
     uhm_assert(width <= 64, "field width %u out of range", width);
@@ -32,34 +91,11 @@ BitReader::read(unsigned width)
                "bit read past end (pos %zu width %u size %zu)",
                pos_, width, bitSize_);
 
-    uint64_t v = 0;
-    for (unsigned i = 0; i < width; ++i) {
-        size_t byte = pos_ >> 3;
-        unsigned bit = 7 - (pos_ & 7);
-        v = (v << 1) | ((data_[byte] >> bit) & 1);
-        ++pos_;
-    }
-    if (width > 0)
-        ++extractSteps_;
-    return v;
-}
-
-uint64_t
-BitReader::peek(unsigned width) const
-{
-    uhm_assert(width <= 64, "field width %u out of range", width);
-    uint64_t v = 0;
-    size_t p = pos_;
-    for (unsigned i = 0; i < width; ++i) {
-        if (p < bitSize_) {
-            size_t byte = p >> 3;
-            unsigned bit = 7 - (p & 7);
-            v = (v << 1) | ((data_[byte] >> bit) & 1);
-        } else {
-            v <<= 1;
-        }
-        ++p;
-    }
+    if (width == 0)
+        return 0;
+    uint64_t v = peek(width);
+    advance(width);
+    ++extractSteps_;
     return v;
 }
 
@@ -69,6 +105,7 @@ BitReader::seek(size_t bit_pos)
     uhm_assert(bit_pos <= bitSize_, "seek past end (%zu > %zu)",
                bit_pos, bitSize_);
     pos_ = bit_pos;
+    avail_ = 0;
 }
 
 unsigned

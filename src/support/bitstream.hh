@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/logging.hh"
+
 namespace uhm
 {
 
@@ -55,6 +57,16 @@ class BitWriter
  * The reader counts how many primitive extraction steps it has performed;
  * DIR decoders use this counter to ground the paper's decode-cost
  * parameter `d` in measured shift/mask work rather than an assumption.
+ *
+ * Extraction is word-at-a-time: the reader keeps a left-aligned 64-bit
+ * shift register of upcoming stream bits. peek() answers from the
+ * register and only touches memory when fewer bits remain than asked
+ * for (one unaligned load + byte swap per ~64 consumed bits on the
+ * common path, a zero-padding tail gather near the end of the image).
+ * consume() advances the cursor with a shift, without charging an
+ * extraction step — the peek-then-consume pair is the substrate of the
+ * table-driven Huffman decoder (support/huffman.hh), which needs to
+ * examine more bits than the codeword it finally accepts.
  */
 class BitReader
 {
@@ -78,7 +90,30 @@ class BitReader
     bool readBit() { return read(1) != 0; }
 
     /** Peek @p width bits without advancing (short reads zero-pad). */
-    uint64_t peek(unsigned width) const;
+    uint64_t
+    peek(unsigned width) const
+    {
+        if (width == 0)
+            return 0;
+        if (avail_ < width) {
+            window_ = refillWindow(pos_);
+            avail_ = 64;
+        }
+        return width >= 64 ? window_ : window_ >> (64 - width);
+    }
+
+    /**
+     * Advance the cursor by @p width bits without extracting anything
+     * (and without charging an extraction step). Panics past the end.
+     */
+    void
+    consume(unsigned width)
+    {
+        uhm_assert(pos_ + width <= bitSize_,
+                   "consume past end (pos %zu width %u size %zu)",
+                   pos_, width, bitSize_);
+        advance(width);
+    }
 
     /** Move the cursor to an absolute bit offset. */
     void seek(size_t bit_pos);
@@ -105,10 +140,31 @@ class BitReader
     void resetSteps() { extractSteps_ = 0; }
 
   private:
+    /**
+     * The 64 bits starting at @p bit_pos, MSB-first. Bits at or past
+     * bitSize_ read as zero — the window never loads past the last
+     * byte of the image, and trailing garbage in a wrapped image's
+     * final byte is masked off.
+     */
+    uint64_t refillWindow(size_t bit_pos) const;
+
+    /** Advance the cursor by @p width bits, keeping the register. */
+    void
+    advance(unsigned width)
+    {
+        pos_ += width;
+        window_ = width >= 64 ? 0 : window_ << width;
+        avail_ = width >= avail_ ? 0 : avail_ - width;
+    }
+
     const uint8_t *data_;
     size_t bitSize_;
     size_t pos_ = 0;
     uint64_t extractSteps_ = 0;
+    /** Shift register: the next avail_ stream bits, left-aligned. */
+    mutable uint64_t window_ = 0;
+    /** Valid leading bits in window_; 0 = empty. */
+    mutable unsigned avail_ = 0;
 };
 
 /** Zig-zag map a signed value into an unsigned one (order-preserving). */

@@ -1,6 +1,7 @@
 #include "support/huffman.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <queue>
@@ -9,6 +10,32 @@
 
 namespace uhm
 {
+
+namespace
+{
+
+/**
+ * The process-wide decode implementation. Relaxed accesses: the flag is
+ * set once at startup (or under a test's ScopedHuffmanDecodeKind) and
+ * both implementations produce identical results, so a racy read could
+ * at worst pick the other — equally correct — path.
+ */
+std::atomic<HuffmanDecodeKind> defaultDecodeKind{
+    HuffmanDecodeKind::Table};
+
+} // anonymous namespace
+
+void
+setHuffmanDecodeKind(HuffmanDecodeKind kind)
+{
+    defaultDecodeKind.store(kind, std::memory_order_relaxed);
+}
+
+HuffmanDecodeKind
+huffmanDecodeKind()
+{
+    return defaultDecodeKind.load(std::memory_order_relaxed);
+}
 
 namespace
 {
@@ -177,7 +204,102 @@ HuffmanCode::fromLengths(std::vector<unsigned> lengths)
     }
 
     hc.buildTree();
+    hc.buildDecodeTable();
     return hc;
+}
+
+void
+HuffmanCode::buildDecodeTable()
+{
+    maxLen_ = *std::max_element(lengths_.begin(), lengths_.end());
+    uhm_assert(maxLen_ >= 1 && maxLen_ <= 64, "bad max length %u",
+               maxLen_);
+    uhm_assert(lengths_.size() <= slotPayloadMax,
+               "alphabet of %zu symbols overflows a packed slot",
+               lengths_.size());
+    rootBits_ = std::min(maxLen_, maxRootBits);
+
+    root_.assign(size_t{1} << rootBits_, 0);
+    overflow_.clear();
+
+    // Terminal root slots: a codeword of length <= rootBits_ owns every
+    // slot whose leading bits equal it.
+    for (size_t sym = 0; sym < lengths_.size(); ++sym) {
+        unsigned len = lengths_[sym];
+        if (len > rootBits_)
+            continue;
+        uint64_t first = codes_[sym] << (rootBits_ - len);
+        uint64_t count = uint64_t{1} << (rootBits_ - len);
+        uint32_t slot =
+            (static_cast<uint32_t>(sym) << slotPayloadShift) | len;
+        for (uint64_t i = 0; i < count; ++i) {
+            uhm_assert(root_[first + i] == 0,
+                       "table slot clash at symbol %zu", sym);
+            root_[first + i] = slot;
+        }
+    }
+
+    // Long codewords overflow into a subtable per distinct root-width
+    // prefix, indexed by the bits beyond the root window. Symbols are
+    // visited in canonical (length-major) order, so all codewords of
+    // one prefix are contiguous; a single pass sizing each subtable by
+    // its longest member suffices.
+    std::vector<uint32_t> order(lengths_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return lengths_[a] != lengths_[b] ?
+                             lengths_[a] < lengths_[b] : a < b;
+                     });
+
+    // Pass 1: widest suffix per prefix.
+    std::vector<std::pair<uint64_t, unsigned>> prefixWidth;
+    for (uint32_t sym : order) {
+        unsigned len = lengths_[sym];
+        if (len <= rootBits_)
+            continue;
+        uint64_t prefix = codes_[sym] >> (len - rootBits_);
+        unsigned suffix = len - rootBits_;
+        if (!prefixWidth.empty() && prefixWidth.back().first == prefix) {
+            prefixWidth.back().second =
+                std::max(prefixWidth.back().second, suffix);
+        } else {
+            prefixWidth.emplace_back(prefix, suffix);
+        }
+    }
+
+    // Pass 2: allocate the subtables and point the root at them.
+    for (const auto &[prefix, width] : prefixWidth) {
+        uhm_assert(root_[prefix] == 0, "prefix clash in overflow table");
+        uhm_assert(overflow_.size() <= slotPayloadMax,
+                   "overflow table exceeds a packed slot's base range");
+        root_[prefix] = slotOverflow |
+            (static_cast<uint32_t>(overflow_.size())
+             << slotPayloadShift) | width;
+        overflow_.resize(overflow_.size() + (size_t{1} << width));
+    }
+
+    // Pass 3: fill the subtable spans.
+    for (uint32_t sym : order) {
+        unsigned len = lengths_[sym];
+        if (len <= rootBits_)
+            continue;
+        uint64_t prefix = codes_[sym] >> (len - rootBits_);
+        unsigned suffix = len - rootBits_;
+        uint32_t rootSlot = root_[prefix];
+        unsigned width = rootSlot & slotLenMask;
+        uint32_t base = rootSlot >> slotPayloadShift;
+        uint64_t low = codes_[sym] & ((uint64_t{1} << suffix) - 1);
+        uint64_t first = low << (width - suffix);
+        uint64_t count = uint64_t{1} << (width - suffix);
+        uint32_t slot =
+            (static_cast<uint32_t>(sym) << slotPayloadShift) | len;
+        for (uint64_t i = 0; i < count; ++i) {
+            uhm_assert(overflow_[base + first + i] == 0,
+                       "overflow slot clash at symbol %u", sym);
+            overflow_[base + first + i] = slot;
+        }
+    }
 }
 
 void
@@ -277,7 +399,7 @@ HuffmanCode::encode(BitWriter &bw, uint64_t symbol) const
 }
 
 uint64_t
-HuffmanCode::decode(BitReader &br, uint64_t *tree_steps) const
+HuffmanCode::decodeTree(BitReader &br, uint64_t *tree_steps) const
 {
     int node = 0;
     while (tree_[node].symbol == -1) {

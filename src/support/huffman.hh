@@ -13,8 +13,20 @@
  *  - quantized codes whose lengths are drawn from a small allowed set
  *    (the B1700-style compromise).
  *
- * Decoding walks an explicit binary tree and reports the number of edges
- * traversed, which the host-machine simulator charges as decode work.
+ * Decoding has two host-side implementations with identical results and
+ * identical *simulated* cost accounting:
+ *
+ *  - the tree walk: one BitReader bit per decode-tree edge (the
+ *    reference semantics, and the paper's cost model), and
+ *  - a table-driven fast path: a canonical-Huffman root lookup table
+ *    (up to 11 bits wide) with overflow subtables for longer
+ *    codewords, fed by a multi-bit BitReader::peek/consume pair.
+ *
+ * Both report the number of decode-tree edges the *simulated* machine
+ * would traverse (the codeword length), so every cycle count in the
+ * system is independent of which host path ran; only wall-clock
+ * differs. The process-wide default is the table path; see
+ * setHuffmanDecodeKind() for the tree escape hatch.
  */
 
 #ifndef UHM_SUPPORT_HUFFMAN_HH
@@ -27,6 +39,45 @@
 
 namespace uhm
 {
+
+/** Which host-side Huffman decode implementation to run. */
+enum class HuffmanDecodeKind : uint8_t
+{
+    Tree,  ///< bit-at-a-time decode-tree walk (reference semantics)
+    Table, ///< canonical root table + overflow subtables (fast path)
+};
+
+/**
+ * Set the process-wide default decode implementation (the
+ * uhm_cli --decode=tree|table escape hatch). Thread-safe; intended to
+ * be set once at startup, before simulation threads exist.
+ */
+void setHuffmanDecodeKind(HuffmanDecodeKind kind);
+
+/** The current process-wide default decode implementation. */
+HuffmanDecodeKind huffmanDecodeKind();
+
+/**
+ * RAII override of the process-wide decode kind (tests, benches).
+ * Not safe while other threads are decoding.
+ */
+class ScopedHuffmanDecodeKind
+{
+  public:
+    explicit ScopedHuffmanDecodeKind(HuffmanDecodeKind kind)
+        : saved_(huffmanDecodeKind())
+    {
+        setHuffmanDecodeKind(kind);
+    }
+    ~ScopedHuffmanDecodeKind() { setHuffmanDecodeKind(saved_); }
+
+    ScopedHuffmanDecodeKind(const ScopedHuffmanDecodeKind &) = delete;
+    ScopedHuffmanDecodeKind &
+    operator=(const ScopedHuffmanDecodeKind &) = delete;
+
+  private:
+    HuffmanDecodeKind saved_;
+};
 
 /**
  * A canonical prefix code over the symbol alphabet [0, n).
@@ -62,11 +113,66 @@ class HuffmanCode
     void encode(BitWriter &bw, uint64_t symbol) const;
 
     /**
-     * Decode one symbol from the reader.
+     * Decode one symbol from the reader via the process-wide default
+     * implementation (huffmanDecodeKind()).
      * @param tree_steps if non-null, incremented once per tree edge
-     *                   traversed (the decode-cost model)
+     *                   the simulated machine traverses — always the
+     *                   codeword length, whichever host path ran
      */
-    uint64_t decode(BitReader &br, uint64_t *tree_steps = nullptr) const;
+    uint64_t
+    decode(BitReader &br, uint64_t *tree_steps = nullptr) const
+    {
+        return decode(br, tree_steps, huffmanDecodeKind());
+    }
+
+    /**
+     * Decode one symbol via an explicit implementation choice. Decoders
+     * that decode several symbols per instruction read the process-wide
+     * kind once and pass it down, keeping the atomic load out of the
+     * symbol loop.
+     */
+    uint64_t
+    decode(BitReader &br, uint64_t *tree_steps,
+           HuffmanDecodeKind kind) const
+    {
+        return kind == HuffmanDecodeKind::Table ?
+            decodeTable(br, tree_steps) : decodeTree(br, tree_steps);
+    }
+
+    /** Decode one symbol by walking the explicit decode tree. */
+    uint64_t decodeTree(BitReader &br,
+                        uint64_t *tree_steps = nullptr) const;
+
+    /**
+     * Decode one symbol through the canonical lookup table: one peek
+     * into the root table, at most one more into an overflow subtable,
+     * one consume. Bit-exact with decodeTree(), including the
+     * tree_steps count. Inline: this is the innermost operation of the
+     * decode fast path.
+     */
+    uint64_t
+    decodeTable(BitReader &br, uint64_t *tree_steps = nullptr) const
+    {
+        uint32_t slot = root_[br.peek(rootBits_)];
+        if (slot & slotOverflow) {
+            // Codeword longer than the root window: one more peek
+            // selects the overflow subtable slot.
+            unsigned width = slot & slotLenMask;
+            uint64_t low = br.peek(rootBits_ + width) &
+                           ((uint64_t{1} << width) - 1);
+            slot = overflow_[(slot >> slotPayloadShift) + low];
+            uhm_assert(!(slot & slotOverflow),
+                       "decode fell off the table");
+        }
+        unsigned len = slot & slotLenMask;
+        uhm_assert(len > 0, "decode fell off the table");
+        br.consume(len);
+        // The simulated machine still walks one decode-tree edge per
+        // codeword bit; only the host-side work shrank.
+        if (tree_steps)
+            *tree_steps += len;
+        return slot >> slotPayloadShift;
+    }
 
     /** Codeword length of @p symbol in bits. */
     unsigned lengthOf(uint64_t symbol) const;
@@ -94,10 +200,30 @@ class HuffmanCode
     /** All codeword lengths (indexed by symbol). */
     const std::vector<unsigned> &lengths() const { return lengths_; }
 
+    /** Longest codeword length in bits (0 before build). */
+    unsigned maxCodeLength() const { return maxLen_; }
+
+    /** Root-table index width in bits (<= maxRootBits). */
+    unsigned rootBits() const { return rootBits_; }
+
+    /**
+     * Total lookup-table entries (root + overflow) — the host-side
+     * footprint of the fast path, reported by bench_decode.
+     */
+    size_t
+    decodeTableEntries() const
+    {
+        return root_.size() + overflow_.size();
+    }
+
   private:
+    /** Widest root lookup the table decoder will build. */
+    static constexpr unsigned maxRootBits = 11;
+
     static HuffmanCode fromLengths(std::vector<unsigned> lengths);
 
     void buildTree();
+    void buildDecodeTable();
 
     /** Canonical codeword per symbol. */
     std::vector<uint64_t> codes_;
@@ -113,6 +239,31 @@ class HuffmanCode
     };
     /** Explicit decode tree, node 0 is the root. */
     std::vector<Node> tree_;
+
+    /**
+     * One lookup-table slot, packed into 32 bits so a decode touches a
+     * single word:
+     *
+     *   bits 0-6  codeword length (terminal) or subtable index width
+     *             (overflow pointer); 0 marks an invalid slot — a
+     *             window no codeword matches, reachable only from a
+     *             corrupt stream
+     *   bit  7    overflow-pointer flag (root table only)
+     *   bits 8-31 decoded symbol (terminal) or subtable offset into
+     *             overflow_ (overflow pointer)
+     */
+    static constexpr uint32_t slotLenMask = 0x7f;
+    static constexpr uint32_t slotOverflow = 0x80;
+    static constexpr unsigned slotPayloadShift = 8;
+    /** Largest symbol / subtable offset a slot can carry. */
+    static constexpr uint32_t slotPayloadMax = (1u << 24) - 1;
+
+    /** Root lookup table, indexed by the next rootBits_ stream bits. */
+    std::vector<uint32_t> root_;
+    /** Overflow subtables, one span per long-codeword root prefix. */
+    std::vector<uint32_t> overflow_;
+    unsigned rootBits_ = 0;
+    unsigned maxLen_ = 0;
 };
 
 /** Shannon entropy of a frequency vector, in bits per symbol. */

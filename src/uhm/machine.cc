@@ -22,7 +22,9 @@ machineKindName(MachineKind kind)
 
 Machine::Machine(const EncodedDir &image, const MachineConfig &config)
     : image_(&image), config_(config), routines_(config.layout),
-      mem_(config.layout.level1Words, config.timing), translator_(image)
+      mem_(config.layout.level1Words, config.timing), translator_(image),
+      decodeMemo_(image), stagingValid_(image.numInstrs(), 0),
+      stagingMemo_(image.numInstrs())
 {
     switch (config_.kind) {
       case MachineKind::Dtb2:
@@ -282,7 +284,10 @@ Machine::runConventionalOrCached()
         if (config_.captureAddressTrace)
             addressTrace_.push_back(pc_);
 
-        DecodeResult res = image_->decodeAt(pc_);
+        // The simulated machine decodes every executed instruction (and
+        // is charged for it below); the host replays the memoized
+        // result after the first visit to a pc.
+        const DecodeResult &res = decodeMemo_.decodeAt(pc_);
         ++opcodeCounts_[static_cast<size_t>(res.instr.op)];
         uint64_t bits = res.nextBitAddr - pc_;
         if (cached)
@@ -293,8 +298,12 @@ Machine::runConventionalOrCached()
         breakdown_.decode += decode_cycles;
         emitEvent(obs::EventKind::Decode, pc_, decode_cycles);
 
-        Staging st = stageInstruction(res.instr, *image_, res.index);
-        executeStaged(st);
+        if (!stagingValid_[res.index]) {
+            stagingMemo_[res.index] =
+                stageInstruction(res.instr, *image_, res.index);
+            stagingValid_[res.index] = 1;
+        }
+        executeStaged(stagingMemo_[res.index]);
     }
 }
 
@@ -406,7 +415,9 @@ Machine::runDtb()
             ++decodedInstrs_;
             ++translatedInstrs_;
 
-            Translation tr = translator_.translate(pc_);
+            // Memoized: a repeat miss on this pc replays the cached
+            // translation; the charged costs are identical either way.
+            const Translation &tr = translator_.translate(pc_);
             chargeFetchLevel2(tr.bits);
             uint64_t decode_cycles =
                 config_.costs.decodeCycles(tr.decodeCost);
@@ -436,8 +447,7 @@ Machine::runDtb()
             }
             if (two_level)
                 dtbL1_->insert(pc_, tr.code);
-            local = std::move(tr.code);
-            code = &local;
+            code = &tr.code;
         }
         }
 

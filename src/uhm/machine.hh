@@ -258,11 +258,18 @@ class Machine
 
     void traceEvent(const std::string &event);
 
-    /** Record a typed obs event stamped with the current cycle count. */
+    /**
+     * Record a typed obs event stamped with the current cycle count.
+     * The enabled check comes first so a run without a tracer sink
+     * pays one predictable branch — the cycle stamp
+     * (breakdown_.total(), five adds) is never computed when no one is
+     * listening.
+     */
     void
     emitEvent(obs::EventKind kind, uint64_t addr, uint64_t arg = 0)
     {
-        tracer_.record(kind, breakdown_.total(), addr, arg);
+        if (tracer_.enabled())
+            tracer_.record(kind, breakdown_.total(), addr, arg);
     }
 
     const EncodedDir *image_;
@@ -273,6 +280,16 @@ class Machine
     std::unique_ptr<Dtb> dtbL1_;
     std::unique_ptr<SetAssocCache> icache_;
     DynamicTranslator translator_;
+    /**
+     * Host-side decode/staging memos for the conventional and cached
+     * fetch paths (the DTB paths memoize inside translator_). The
+     * image is immutable, so the memos never invalidate; simulated
+     * decode cycles are charged from the cached DecodeCost and are
+     * identical to a cold decode.
+     */
+    DecodeMemo decodeMemo_;
+    std::vector<uint8_t> stagingValid_;
+    std::vector<Staging> stagingMemo_;
 
     // Machine state.
     std::array<int64_t, numMicroRegs> regs_{};

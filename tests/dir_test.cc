@@ -8,8 +8,10 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "dir/encoding.hh"
+#include "support/huffman.hh"
 #include "dir/isa.hh"
 #include "dir/program.hh"
 #include "hlr/compiler.hh"
@@ -342,6 +344,64 @@ TEST(Encoding, NamesAreDistinct)
     for (EncodingScheme s : allEncodingSchemes())
         names.insert(encodingName(s));
     EXPECT_EQ(names.size(), numEncodingSchemes);
+}
+
+// ---- tree vs. table decode bit-exactness -----------------------------------
+
+/** Field-by-field DecodeResult equality with a readable failure label. */
+void
+expectSameDecode(const DecodeResult &a, const DecodeResult &b,
+                 const char *what, const char *scheme,
+                 const std::string &program, size_t i)
+{
+    std::string where = std::string(what) + " " + scheme + "/" +
+                        program + " instr " + std::to_string(i);
+    EXPECT_EQ(a.instr.op, b.instr.op) << where;
+    EXPECT_EQ(a.instr.operands, b.instr.operands) << where;
+    EXPECT_EQ(a.nextBitAddr, b.nextBitAddr) << where;
+    EXPECT_EQ(a.index, b.index) << where;
+    EXPECT_EQ(a.cost.fieldExtracts, b.cost.fieldExtracts) << where;
+    EXPECT_EQ(a.cost.treeEdges, b.cost.treeEdges) << where;
+    EXPECT_EQ(a.cost.tableLookups, b.cost.tableLookups) << where;
+}
+
+/**
+ * The table-driven decoder must be bit-exact with the tree walk — same
+ * instruction stream AND same simulated decode costs — over the whole
+ * sample corpus, under every encoding scheme, through both the per-call
+ * decodeAt() and the bulk decodeAll() entry points.
+ */
+TEST(Encoding, TreeAndTableDecodersAreBitExact)
+{
+    for (const auto &sample : workload::samplePrograms()) {
+        DirProgram prog = hlr::compileSource(sample.source);
+        for (EncodingScheme scheme : allEncodingSchemes()) {
+            auto image = encodeDir(prog, scheme);
+            const char *name = encodingName(scheme);
+
+            std::vector<DecodeResult> tree_all, table_all;
+            {
+                ScopedHuffmanDecodeKind kind(HuffmanDecodeKind::Tree);
+                image->decodeAll(tree_all);
+            }
+            {
+                ScopedHuffmanDecodeKind kind(HuffmanDecodeKind::Table);
+                image->decodeAll(table_all);
+            }
+            ASSERT_EQ(tree_all.size(), image->numInstrs());
+            ASSERT_EQ(table_all.size(), tree_all.size());
+
+            for (size_t i = 0; i < tree_all.size(); ++i) {
+                expectSameDecode(table_all[i], tree_all[i],
+                                 "decodeAll", name, sample.name, i);
+                // The per-call path must agree with the bulk path.
+                ScopedHuffmanDecodeKind kind(HuffmanDecodeKind::Table);
+                DecodeResult at = image->decodeAt(image->bitAddrOf(i));
+                expectSameDecode(at, tree_all[i], "decodeAt", name,
+                                 sample.name, i);
+            }
+        }
+    }
 }
 
 TEST(Encoding, HuffmanCompactionIsSubstantial)

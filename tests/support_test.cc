@@ -108,6 +108,51 @@ TEST(BitStream, PeekPastEndZeroPads)
     EXPECT_EQ(br.peek(4), 0b1100u);
 }
 
+/**
+ * The decode fast path reads the stream through peek()/consume(); it
+ * must agree with read() at every boundary width, including widths that
+ * straddle the 64-bit refill window.
+ */
+TEST(BitStream, PeekConsumeBoundaryWidths)
+{
+    Rng rng(2026);
+    BitWriter bw;
+    for (int i = 0; i < 3; ++i)
+        bw.write(rng.next(), 64);
+    const uint64_t total = bw.bitSize();
+    for (unsigned width : {1u, 12u, 57u, 64u}) {
+        BitReader ref(bw.bytes(), total);
+        BitReader fast(bw.bytes(), total);
+        while (ref.pos() + width <= total) {
+            uint64_t expect = ref.read(width);
+            EXPECT_EQ(fast.peek(width), expect) << "width " << width;
+            fast.consume(width);
+            EXPECT_EQ(fast.pos(), ref.pos());
+        }
+    }
+}
+
+TEST(BitStream, PeekBeyondEndZeroPadsWideWidths)
+{
+    BitWriter bw;
+    bw.write(0b101, 3);
+    BitReader br(bw.bytes(), bw.bitSize());
+    // Fewer bits than asked for: the missing tail reads as zeros.
+    EXPECT_EQ(br.peek(64), 0b101ull << 61);
+    EXPECT_EQ(br.peek(12), 0b101u << 9);
+    br.seek(3);
+    EXPECT_EQ(br.peek(57), 0u);
+}
+
+TEST(BitStream, ConsumePastEndPanics)
+{
+    BitWriter bw;
+    bw.write(0xf, 4);
+    BitReader br(bw.bytes(), bw.bitSize());
+    br.consume(3);
+    EXPECT_THROW(br.consume(2), PanicError);
+}
+
 TEST(BitStream, ExtractStepCounting)
 {
     BitWriter bw;
