@@ -163,11 +163,16 @@ sweepPointLine(const SweepPoint &point, const RunResult &r)
     jw.key("cycles").value(r.cycles);
     jw.key("cycles_per_instr").value(r.avgInterpTime());
     if (point.config.kind == MachineKind::Dtb ||
-        point.config.kind == MachineKind::Dtb2) {
+        point.config.kind == MachineKind::Dtb2 ||
+        point.config.kind == MachineKind::Tiered) {
         jw.key("dtb.hit_ratio").value(r.dtbHitRatio);
     }
     if (point.config.kind == MachineKind::Dtb2)
         jw.key("dtbl1.hit_ratio").value(r.dtbL1HitRatio);
+    if (point.config.kind == MachineKind::Tiered) {
+        jw.key("tier.coverage").value(r.traceCoverage);
+        jw.key("tier.trace_hit_ratio").value(r.traceHitRatio);
+    }
     if (point.config.kind == MachineKind::Cached)
         jw.key("icache.hit_ratio").value(r.cacheHitRatio);
     jw.endObject();

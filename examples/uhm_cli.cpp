@@ -18,10 +18,11 @@
  *   --jobs=<n>             worker threads (default: all cores)
  *   --seed=<n>             seed for the "synthetic" workload (1978)
  *   --machine=/--encoding= as below, applied to every point
+ *   --tier-threshold=/--trace-cap=/--trace-bytes= as below
  *   --out=<file>           write the JSONL report to <file> (stdout)
  *
  * Options:
- *   --machine=<conventional|cached|dtb|dtb2>   (default dtb)
+ *   --machine=<conventional|cached|dtb|dtb2|tiered>  (default dtb)
  *   --encoding=<expanded|packed|contextual|huffman|pair-huffman|
  *               quantized>                      (default huffman)
  *   --decode=<tree|table>  host-side Huffman decode implementation
@@ -33,6 +34,9 @@
  *   --input=<comma-separated ints>              (read-statement input)
  *   --dtb-bytes=<n>        DTB buffer capacity  (default 4096)
  *   --assoc=<n>            DTB/cache ways, 0 = full (default 4)
+ *   --tier-threshold=<n>   backedges before a trace records (tiered, 8)
+ *   --trace-cap=<n>        max DIR instrs per trace (tiered, 64)
+ *   --trace-bytes=<n>      trace-cache capacity (tiered, 8192)
  *   --raise                raise the DIR's semantic level (fuse opcodes)
  *   --disasm               print the DIR disassembly and exit
  *   --emit-asm=<file>      write round-trippable DIR assembly and exit
@@ -52,6 +56,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -80,6 +85,9 @@ struct Options
     std::vector<int64_t> input;
     uint64_t dtbBytes = 4096;
     unsigned assoc = 4;
+    uint32_t tierThreshold = 8;
+    size_t traceCap = 64;
+    uint64_t traceBytes = 8192;
     bool raiseLevel = false;
     bool disasm = false;
     bool stats = false;
@@ -102,7 +110,71 @@ parseMachine(const std::string &name)
         return uhm::MachineKind::Dtb;
     if (name == "dtb2")
         return uhm::MachineKind::Dtb2;
+    if (name == "tiered")
+        return uhm::MachineKind::Tiered;
     uhm::fatal("unknown machine kind '%s'", name.c_str());
+}
+
+/** Shared help text for the options both subcommands accept. */
+constexpr const char *commonOptionsHelp =
+    "  --machine=<conventional|cached|dtb|dtb2|tiered>\n"
+    "                         machine organization (default dtb)\n"
+    "  --encoding=<expanded|packed|contextual|huffman|pair-huffman|\n"
+    "              quantized> DIR encoding (default huffman)\n"
+    "  --decode=<tree|table>  host-side Huffman decode (default table)\n"
+    "  --tier-threshold=<n>   backedges into a resident DTB entry before\n"
+    "                         a trace records (tiered only, default 8)\n"
+    "  --trace-cap=<n>        max DIR instrs per trace (tiered, 64)\n"
+    "  --trace-bytes=<n>      trace-cache capacity in bytes (tiered,\n"
+    "                         default 8192)\n";
+
+void
+printMainHelp()
+{
+    std::fputs(
+        "usage: uhm_cli [options] <sample-name | path/to/program>\n"
+        "       uhm_cli sweep [options] [program ...]\n"
+        "\n"
+        "Run one program on the simulated universal host machine.\n"
+        "\n",
+        stdout);
+    std::fputs(commonOptionsHelp, stdout);
+    std::fputs(
+        "  --input=<ints>         comma-separated read-statement input\n"
+        "  --dtb-bytes=<n>        DTB buffer capacity (default 4096)\n"
+        "  --assoc=<n>            DTB/cache ways, 0 = full (default 4)\n"
+        "  --raise                fuse opcodes (raise semantic level)\n"
+        "  --disasm               print the DIR disassembly and exit\n"
+        "  --emit-asm=<file>      write DIR assembly and exit\n"
+        "  --emit-bin=<file>      write binary DIR form and exit\n"
+        "  --stats                print the full counter set\n"
+        "  --trace                print the INTERP event trace\n"
+        "  --profile[=<file>]     emit a JSONL profile report\n"
+        "\n"
+        "example: uhm_cli --machine=tiered --tier-threshold=4 "
+        "--trace-cap=32 loops\n",
+        stdout);
+}
+
+void
+printSweepHelp()
+{
+    std::fputs(
+        "usage: uhm_cli sweep [options] [program ...]\n"
+        "\n"
+        "Run a batch of programs concurrently and emit a JSONL report\n"
+        "(byte-identical for any --jobs value).\n"
+        "\n",
+        stdout);
+    std::fputs(commonOptionsHelp, stdout);
+    std::fputs(
+        "  --jobs=<n>             worker threads (default: all cores)\n"
+        "  --seed=<n>             seed for the \"synthetic\" workload\n"
+        "  --out=<file>           write the report to <file> (stdout)\n"
+        "\n"
+        "example: uhm_cli sweep --machine=tiered --jobs=8 "
+        "--out=tiered.jsonl\n",
+        stdout);
 }
 
 uhm::EncodingScheme
@@ -161,6 +233,17 @@ parseArgs(int argc, char **argv)
         else if (arg.rfind("--assoc=", 0) == 0)
             opts.assoc = static_cast<unsigned>(
                 std::stoul(value("--assoc=")));
+        else if (arg.rfind("--tier-threshold=", 0) == 0)
+            opts.tierThreshold = static_cast<uint32_t>(
+                std::stoul(value("--tier-threshold=")));
+        else if (arg.rfind("--trace-cap=", 0) == 0)
+            opts.traceCap = std::stoull(value("--trace-cap="));
+        else if (arg.rfind("--trace-bytes=", 0) == 0)
+            opts.traceBytes = std::stoull(value("--trace-bytes="));
+        else if (arg == "--help" || arg == "-h") {
+            printMainHelp();
+            std::exit(0);
+        }
         else if (arg == "--raise")
             opts.raiseLevel = true;
         else if (arg == "--disasm")
@@ -227,6 +310,8 @@ runSweepCommand(int argc, char **argv)
     uint64_t seed = 1978;
     uhm::MachineKind kind = uhm::MachineKind::Dtb;
     uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
+    uhm::tier::TierConfig tier_cfg;
+    uhm::tier::TraceCacheConfig trace_cache_cfg;
     std::string out_path;
     std::vector<std::string> programs;
 
@@ -245,6 +330,18 @@ runSweepCommand(int argc, char **argv)
             scheme = parseEncoding(value("--encoding="));
         else if (arg.rfind("--decode=", 0) == 0)
             applyDecodeKind(value("--decode="));
+        else if (arg.rfind("--tier-threshold=", 0) == 0)
+            tier_cfg.hotThreshold = static_cast<uint32_t>(
+                std::stoul(value("--tier-threshold=")));
+        else if (arg.rfind("--trace-cap=", 0) == 0)
+            tier_cfg.traceCap = std::stoull(value("--trace-cap="));
+        else if (arg.rfind("--trace-bytes=", 0) == 0)
+            trace_cache_cfg.capacityBytes =
+                std::stoull(value("--trace-bytes="));
+        else if (arg == "--help" || arg == "-h") {
+            printSweepHelp();
+            return 0;
+        }
         else if (arg.rfind("--out=", 0) == 0)
             out_path = value("--out=");
         else if (arg.rfind("--", 0) == 0)
@@ -268,6 +365,8 @@ runSweepCommand(int argc, char **argv)
         }
         point.scheme = scheme;
         point.config.kind = kind;
+        point.config.tier = tier_cfg;
+        point.config.traceCache = trace_cache_cfg;
         points.push_back(std::move(point));
     }
 
@@ -335,6 +434,9 @@ try {
     cfg.dtb.assoc = opts.assoc;
     cfg.icache.capacityBytes = opts.dtbBytes;
     cfg.icache.assoc = opts.assoc;
+    cfg.tier.hotThreshold = opts.tierThreshold;
+    cfg.tier.traceCap = opts.traceCap;
+    cfg.traceCache.capacityBytes = opts.traceBytes;
     cfg.traceEvents = opts.trace;
     // The bounded typed-event ring rides along only when the user also
     // asked for tracing; the counter/phase report alone stays small.
@@ -356,16 +458,21 @@ try {
                  r.avgInterpTime(),
                  static_cast<unsigned long long>(image->bitSize()));
     if (opts.kind == uhm::MachineKind::Dtb ||
-        opts.kind == uhm::MachineKind::Dtb2) {
+        opts.kind == uhm::MachineKind::Dtb2 ||
+        opts.kind == uhm::MachineKind::Tiered) {
         std::fprintf(stderr, "# dtb hit ratio %.4f", r.dtbHitRatio);
         if (opts.kind == uhm::MachineKind::Dtb2)
             std::fprintf(stderr, ", L1 hit ratio %.4f", r.dtbL1HitRatio);
+        if (opts.kind == uhm::MachineKind::Tiered)
+            std::fprintf(stderr,
+                         ", trace coverage %.4f, trace hit ratio %.4f",
+                         r.traceCoverage, r.traceHitRatio);
         std::fprintf(stderr, "\n");
     }
     if (opts.stats) {
         std::fprintf(stderr, "# breakdown: fetch=%llu decode=%llu "
                      "stage=%llu dispatch=%llu semantic=%llu "
-                     "translate=%llu\n",
+                     "translate=%llu translate2=%llu\n",
                      static_cast<unsigned long long>(r.breakdown.fetch),
                      static_cast<unsigned long long>(r.breakdown.decode),
                      static_cast<unsigned long long>(r.breakdown.stage),
@@ -374,7 +481,9 @@ try {
                      static_cast<unsigned long long>(
                          r.breakdown.semantic),
                      static_cast<unsigned long long>(
-                         r.breakdown.translate));
+                         r.breakdown.translate),
+                     static_cast<unsigned long long>(
+                         r.breakdown.translate2));
         std::fputs(r.stats.toString().c_str(), stderr);
     }
     if (opts.profile) {

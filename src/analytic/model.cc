@@ -24,6 +24,15 @@ t3(const ModelParams &p)
 }
 
 double
+t4(const ModelParams &p)
+{
+    double in_trace = p.s1T * p.tauD + p.tauD / p.nT;
+    double cold = p.s1 * p.tauD +
+        (1.0 - p.hD) * (p.s2 * p.tau2 + p.d + p.g);
+    return p.hT * in_trace + (1.0 - p.hT) * cold + p.cT * p.g2 + p.x;
+}
+
+double
 f1(const ModelParams &p)
 {
     return (t3(p) - t2(p)) / t2(p) * 100.0;

@@ -53,6 +53,15 @@ struct ModelParams
     // Program behavior dependent.
     double hc = 0.9;    ///< instruction-cache hit ratio
     double hD = 0.8;    ///< DTB hit ratio
+
+    // Tiered-translation extension (T4; src/tier/). These go beyond
+    // the paper: hT/nT/cT are measured program behavior, g2 and s1T
+    // are tier-2 implementation costs.
+    double hT = 0.0;    ///< fraction of DIR instrs retired in traces
+    double nT = 1.0;    ///< average DIR instrs per trace iteration
+    double s1T = 2.0;   ///< trace-body refs per DIR instr (s1 minus INTERP)
+    double g2 = 4.0;    ///< tier-2 generate-and-store time per short instr
+    double cT = 0.0;    ///< compiled trace short instrs per retired instr
 };
 
 /** T1: conventional UHM. */
@@ -63,6 +72,21 @@ double t2(const ModelParams &p);
 
 /** T3: UHM with an instruction cache on level 2. */
 double t3(const ModelParams &p);
+
+/**
+ * T4: UHM with a DTB plus the adaptive tier (trace cache).
+ *
+ *   T4 = hT*(s1T*tauD + tauD/nT)
+ *      + (1-hT)*(s1*tauD + (1-hD)*(s2*tau2 + d + g))
+ *      + cT*g2 + x
+ *
+ * Instructions retired inside a trace pay s1T short fetches (the
+ * per-instruction INTERP lookup and successor fetch are gone) plus the
+ * per-iteration trace dispatch amortized over nT instructions; the
+ * remainder behave as in T2; tier-2 compilation amortizes to cT*g2 per
+ * retired instruction.
+ */
+double t4(const ModelParams &p);
 
 /** F1 = (T3 - T2)/T2 * 100. */
 double f1(const ModelParams &p);

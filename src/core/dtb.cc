@@ -60,14 +60,45 @@ Dtb::lookup(uint64_t dir_addr)
     Entry *set_entries = &entries_[set * assoc_];
     for (unsigned way = 0; way < assoc_; ++way) {
         Entry &e = set_entries[way];
-        if (e.valid && e.tag == dir_addr) {
+        if (e.meta.valid && e.meta.tag == dir_addr) {
             repl_[set].touch(way);
             ++hits_;
-            return {true, &e.code, e.units};
+            ++e.meta.useCount;
+            return {true, &e.code, e.meta.units, &e.meta};
         }
     }
     ++misses_;
     return {};
+}
+
+Dtb::Entry *
+Dtb::findEntry(uint64_t dir_addr)
+{
+    uint64_t set = setOf(dir_addr);
+    Entry *set_entries = &entries_[set * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &e = set_entries[way];
+        if (e.meta.valid && e.meta.tag == dir_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+Dtb::markTraceAnchor(uint64_t dir_addr)
+{
+    Entry *e = findEntry(dir_addr);
+    if (!e)
+        return false;
+    e->meta.anchorsTrace = true;
+    return true;
+}
+
+void
+Dtb::clearTraceAnchor(uint64_t dir_addr)
+{
+    if (Entry *e = findEntry(dir_addr))
+        e->meta.anchorsTrace = false;
 }
 
 Dtb::InsertOutcome
@@ -94,7 +125,7 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     // Prefer an invalid way; otherwise the replacement array's victim.
     unsigned way = assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
-        if (!set_entries[w].valid) {
+        if (!set_entries[w].meta.valid) {
             way = w;
             break;
         }
@@ -111,16 +142,16 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     // hot — victim must survive. (Evicting first and rejecting after
     // destroyed a retained translation for nothing.)
     uint64_t victim_release =
-        victim && victim->valid && victim->units > 1 ?
-        victim->units - 1 : 0;
+        victim && victim->meta.valid && victim->meta.units > 1 ?
+        victim->meta.units - 1 : 0;
     if (overflow_needed > overflowFree_ + victim_release) {
         ++rejects_;
         return out;
     }
 
     if (victim) {
-        out.evicted = victim->valid;
-        out.victimTag = victim->tag;
+        out.evicted = victim->meta.valid;
+        out.victimTag = victim->meta.tag;
         evict(*victim);
         ++evictions_;
     }
@@ -128,10 +159,11 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     overflowBlocks_ += overflow_needed;
 
     Entry &e = set_entries[way];
-    e.tag = dir_addr;
-    e.valid = true;
+    e.meta.reset();
+    e.meta.tag = dir_addr;
+    e.meta.valid = true;
+    e.meta.units = units_needed;
     e.code = std::move(code);
-    e.units = units_needed;
     repl_[set].fill(way);
     ++inserts_;
     out.retained = true;
@@ -165,11 +197,10 @@ Dtb::registerCounters(obs::Registry &registry,
 void
 Dtb::evict(Entry &entry)
 {
-    if (entry.valid && entry.units > 1)
-        overflowFree_ += entry.units - 1;
-    entry.valid = false;
+    if (entry.meta.valid && entry.meta.units > 1)
+        overflowFree_ += entry.meta.units - 1;
+    entry.meta.reset();
     entry.code.clear();
-    entry.units = 1;
 }
 
 void

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/entry_meta.hh"
 #include "mem/replacement.hh"
 #include "obs/counter.hh"
 #include "obs/registry.hh"
@@ -73,6 +74,12 @@ class Dtb
         const std::vector<ShortInstr> *code = nullptr;
         /** Buffer-array units the resident entry occupies (hit only). */
         unsigned units = 0;
+        /**
+         * The entry's metadata block (hit only; valid until the next
+         * insert). Mutable so the tier's hotness profiler can bump the
+         * backedge counter it keeps there.
+         */
+        EntryMeta *meta = nullptr;
     };
 
     /**
@@ -108,6 +115,17 @@ class Dtb
 
     /** Invalidate every entry (e.g. program image replaced). */
     void invalidateAll();
+
+    /**
+     * Flag the resident entry for @p dir_addr as anchoring a tier-2
+     * trace (see EntryMeta::anchorsTrace). Pure bookkeeping: no hit or
+     * recency accounting. @return false when @p dir_addr is not
+     * resident (the flag is then not set anywhere).
+     */
+    bool markTraceAnchor(uint64_t dir_addr);
+
+    /** Clear the trace-anchor flag of @p dir_addr, if resident. */
+    void clearTraceAnchor(uint64_t dir_addr);
 
     /** The set index @p dir_addr hashes to. */
     uint64_t setOf(uint64_t dir_addr) const;
@@ -173,16 +191,17 @@ class Dtb
   private:
     struct Entry
     {
-        uint64_t tag = 0;
-        bool valid = false;
+        /** Shared bookkeeping block (core/entry_meta.hh). */
+        EntryMeta meta;
         /** The PSDER translation (primary unit + linked increments). */
         std::vector<ShortInstr> code;
-        /** Buffer units consumed: 1 primary + overflow increments. */
-        unsigned units = 1;
     };
 
     /** Release @p entry's overflow increments and invalidate it. */
     void evict(Entry &entry);
+
+    /** The resident entry tagged @p dir_addr, or null. No accounting. */
+    Entry *findEntry(uint64_t dir_addr);
 
     DtbConfig config_;
     uint64_t numEntries_;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-entry metadata shared by the translation-holding caches.
+ *
+ * The DTB (core/dtb.hh) and the tier-2 trace cache
+ * (tier/trace_cache.hh) both maintain a set-associative array of
+ * translations keyed by DIR bit address. The bookkeeping block of one
+ * entry — the tag, validity, the allocation-unit footprint and the
+ * hotness/promotion state the adaptive tier reads — is identical in
+ * both, so it lives here once instead of as two hand-rolled copies.
+ *
+ * The recency ("LRU stamp") half of the replacement state stays in
+ * mem/replacement.hh's per-set ReplacementSet, which both structures
+ * also share; EntryMeta carries the per-entry half.
+ */
+
+#ifndef UHM_CORE_ENTRY_META_HH
+#define UHM_CORE_ENTRY_META_HH
+
+#include <cstdint>
+
+namespace uhm
+{
+
+/** Bookkeeping block of one cached-translation entry. */
+struct EntryMeta
+{
+    /** DIR bit address this entry translates. */
+    uint64_t tag = 0;
+    /** The entry holds a live translation. */
+    bool valid = false;
+    /** Buffer units consumed: 1 primary + overflow increments. */
+    unsigned units = 1;
+    /**
+     * Hotness: times a lookup found this entry (bumped on every hit).
+     * Dies with the entry — an evicted translation restarts cold.
+     */
+    uint32_t useCount = 0;
+    /**
+     * Backward control transfers that landed on this entry while it was
+     * resident (the tier's per-backedge promotion counter). Only the
+     * Tiered organization bumps it.
+     */
+    uint32_t backedgeCount = 0;
+    /**
+     * A tier-2 trace is anchored at this entry's tag. Evicting the
+     * entry must invalidate the trace (tier/engine.hh keeps the two in
+     * sync); a trace is only ever dispatched through a resident entry
+     * whose flag is set.
+     */
+    bool anchorsTrace = false;
+
+    /** Return to the empty state (eviction). */
+    void
+    reset()
+    {
+        tag = 0;
+        valid = false;
+        units = 1;
+        useCount = 0;
+        backedgeCount = 0;
+        anchorsTrace = false;
+    }
+};
+
+} // namespace uhm
+
+#endif // UHM_CORE_ENTRY_META_HH

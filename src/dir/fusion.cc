@@ -38,72 +38,24 @@ class Fuser
     std::pair<DirInstruction, size_t>
     match(size_t i) const
     {
-        // Longest pattern first: PUSHL d s; PUSHC c; ADD|SUB; STOREL d s.
-        if (groupOk(i, 4) && is(i, Op::PUSHL) && is(i + 1, Op::PUSHC) &&
-            (is(i + 2, Op::ADD) || is(i + 2, Op::SUB)) &&
-            is(i + 3, Op::STOREL) && sameVar(i, i + 3)) {
-            int64_t delta = at(i + 1).operands[0];
-            if (is(i + 2, Op::SUB))
-                delta = -delta;
-            return {{Op::INCL, at(i).operands[0], at(i).operands[1],
-                     delta},
-                    4};
-        }
-        if (groupOk(i, 2)) {
-            if (is(i, Op::PUSHC) && is(i + 1, Op::STOREL)) {
-                return {{Op::SETL, at(i + 1).operands[0],
-                         at(i + 1).operands[1], at(i).operands[0]},
-                        2};
-            }
-            if (is(i, Op::PUSHL) && is(i + 1, Op::WRITE)) {
-                return {{Op::WRITEL, at(i).operands[0],
-                         at(i).operands[1]},
-                        2};
-            }
-            if (is(i, Op::PUSHL) && is(i + 1, Op::JZ)) {
-                return {{Op::BRZL, at(i).operands[0], at(i).operands[1],
-                         at(i + 1).operands[0]},
-                        2};
-            }
-            if (is(i, Op::PUSHL) && is(i + 1, Op::JNZ)) {
-                return {{Op::BRNZL, at(i).operands[0], at(i).operands[1],
-                         at(i + 1).operands[0]},
-                        2};
-            }
-            if (is(i, Op::PUSHL) && is(i + 1, Op::PUSHL)) {
-                return {{Op::PUSHL2, at(i).operands[0],
-                         at(i).operands[1], at(i + 1).operands[0],
-                         at(i + 1).operands[1]},
-                        2};
-            }
+        // Longest pattern first; a pattern rejected only because a
+        // branch target lands in its interior falls back to shorter
+        // windows. The structural matching itself is shared with the
+        // tier-2 trace compiler through matchFusePattern().
+        for (size_t max_len : {size_t{4}, size_t{2}}) {
+            auto [fused, len] = matchFusePattern(prog_, i, max_len);
+            if (len > 0 && interiorFree(i, len))
+                return {fused, len};
         }
         return {{}, 0};
     }
 
   private:
-    const DirInstruction &at(size_t i) const { return prog_.instrs[i]; }
-
-    bool is(size_t i, Op op) const { return at(i).op == op; }
-
+    /** True if no interior index of [i, i+len) is a target / entry. */
     bool
-    sameVar(size_t a, size_t b) const
+    interiorFree(size_t i, size_t len) const
     {
-        return at(a).operands[0] == at(b).operands[0] &&
-               at(a).operands[1] == at(b).operands[1];
-    }
-
-    /**
-     * True if instructions [i, i+len) exist, share a contour, and no
-     * interior index is a branch target / entry.
-     */
-    bool
-    groupOk(size_t i, size_t len) const
-    {
-        if (i + len > prog_.instrs.size())
-            return false;
         for (size_t k = 1; k < len; ++k) {
-            if (prog_.contourOf[i + k] != prog_.contourOf[i])
-                return false;
             if (referenced_.count(i + k))
                 return false;
         }
@@ -115,6 +67,67 @@ class Fuser
 };
 
 } // anonymous namespace
+
+std::pair<DirInstruction, size_t>
+matchFusePattern(const DirProgram &program, size_t i, size_t max_len)
+{
+    auto at = [&](size_t k) -> const DirInstruction & {
+        return program.instrs[k];
+    };
+    auto is = [&](size_t k, Op op) { return at(k).op == op; };
+    auto same_var = [&](size_t a, size_t b) {
+        return at(a).operands[0] == at(b).operands[0] &&
+               at(a).operands[1] == at(b).operands[1];
+    };
+    // Instructions [i, i+len) exist and share a contour.
+    auto group_ok = [&](size_t len) {
+        if (len > max_len || i + len > program.instrs.size())
+            return false;
+        for (size_t k = 1; k < len; ++k) {
+            if (program.contourOf[i + k] != program.contourOf[i])
+                return false;
+        }
+        return true;
+    };
+
+    // Longest pattern first: PUSHL d s; PUSHC c; ADD|SUB; STOREL d s.
+    if (group_ok(4) && is(i, Op::PUSHL) && is(i + 1, Op::PUSHC) &&
+        (is(i + 2, Op::ADD) || is(i + 2, Op::SUB)) &&
+        is(i + 3, Op::STOREL) && same_var(i, i + 3)) {
+        int64_t delta = at(i + 1).operands[0];
+        if (is(i + 2, Op::SUB))
+            delta = -delta;
+        return {{Op::INCL, at(i).operands[0], at(i).operands[1], delta},
+                4};
+    }
+    if (group_ok(2)) {
+        if (is(i, Op::PUSHC) && is(i + 1, Op::STOREL)) {
+            return {{Op::SETL, at(i + 1).operands[0],
+                     at(i + 1).operands[1], at(i).operands[0]},
+                    2};
+        }
+        if (is(i, Op::PUSHL) && is(i + 1, Op::WRITE)) {
+            return {{Op::WRITEL, at(i).operands[0], at(i).operands[1]},
+                    2};
+        }
+        if (is(i, Op::PUSHL) && is(i + 1, Op::JZ)) {
+            return {{Op::BRZL, at(i).operands[0], at(i).operands[1],
+                     at(i + 1).operands[0]},
+                    2};
+        }
+        if (is(i, Op::PUSHL) && is(i + 1, Op::JNZ)) {
+            return {{Op::BRNZL, at(i).operands[0], at(i).operands[1],
+                     at(i + 1).operands[0]},
+                    2};
+        }
+        if (is(i, Op::PUSHL) && is(i + 1, Op::PUSHL)) {
+            return {{Op::PUSHL2, at(i).operands[0], at(i).operands[1],
+                     at(i + 1).operands[0], at(i + 1).operands[1]},
+                    2};
+        }
+    }
+    return {{}, 0};
+}
 
 DirProgram
 raiseSemanticLevel(const DirProgram &program, FusionStats *stats)

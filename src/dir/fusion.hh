@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 
 #include "dir/program.hh"
 
@@ -60,6 +61,23 @@ struct FusionStats
  */
 DirProgram raiseSemanticLevel(const DirProgram &program,
                               FusionStats *stats = nullptr);
+
+/**
+ * Match one fusion pairing starting at instruction index @p i of
+ * @p program, considering groups of up to @p max_len instructions that
+ * share a contour (the pattern table in the file comment). Returns the
+ * fused instruction and the group length, or length 0 when nothing
+ * matches.
+ *
+ * Callers impose their own reachability constraints on top:
+ * raiseSemanticLevel() additionally requires that no branch target or
+ * entry lands in the group's interior; the tier-2 trace compiler
+ * (tier/engine.cc) imposes none, because a trace is only ever entered
+ * at its head — a side entry into the group's interior takes the
+ * ordinary DTB path instead.
+ */
+std::pair<DirInstruction, size_t> matchFusePattern(
+    const DirProgram &program, size_t i, size_t max_len = 4);
 
 } // namespace uhm
 

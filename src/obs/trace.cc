@@ -18,6 +18,13 @@ eventKindName(EventKind kind)
       case EventKind::Trap:      return "trap";
       case EventKind::Translate: return "translate";
       case EventKind::Promote:   return "promote";
+      case EventKind::TraceRecord:     return "trace_record";
+      case EventKind::TraceAbort:      return "trace_abort";
+      case EventKind::Translate2:      return "translate2";
+      case EventKind::TraceEnter:      return "trace_enter";
+      case EventKind::TraceExit:       return "trace_exit";
+      case EventKind::TraceEvict:      return "trace_evict";
+      case EventKind::TraceInvalidate: return "trace_invalidate";
     }
     return "?";
 }

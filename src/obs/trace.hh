@@ -33,6 +33,13 @@ enum class EventKind : uint8_t
     Trap,      ///< DTRPOINT trap to the translator; arg = trap cycles
     Translate, ///< PSDER generated; arg = short instructions emitted
     Promote,   ///< translation copied into the first-level buffer (Dtb2)
+    TraceRecord,     ///< tier recording started; addr = trace head
+    TraceAbort,      ///< recording abandoned; addr = offending pc
+    Translate2,      ///< trace compiled; addr = head, arg = short instrs
+    TraceEnter,      ///< trace dispatched; addr = head, arg = DIR instrs/pass
+    TraceExit,       ///< trace left; addr = exit pc, arg = iterations run
+    TraceEvict,      ///< trace displaced from the trace cache; addr = head
+    TraceInvalidate, ///< anchoring DTB entry evicted; addr = head
 };
 
 /** Stable lowercase name of @p kind ("dtb_miss"). */

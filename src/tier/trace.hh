@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tier-2 trace representation and tiering policy knobs.
+ *
+ * Rau's DTB translates one DIR instruction at a time — the binding
+ * persists, but each interpreted instruction still pays one INTERP
+ * lookup and one control transfer. The adaptive tier layered on top
+ * (tier/engine.hh) re-translates the *hottest* regions at a coarser
+ * grain: when a backedge counter in the DTB entry metadata crosses a
+ * threshold, the executed DIR instruction sequence is recorded until
+ * the trace closes (loop back to its head, or length cap), compiled
+ * into one fused PSDER body, and stored in a trace cache above the DTB.
+ * Steady-state loop iterations then pay one trace dispatch instead of
+ * one DTB lookup per instruction — the two-level JIT discipline of
+ * modern descendants, asked in Rau's cost vocabulary.
+ */
+
+#ifndef UHM_TIER_TRACE_HH
+#define UHM_TIER_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "psder/short_isa.hh"
+
+namespace uhm::tier
+{
+
+/** Hotness-profiling and trace-formation policy. */
+struct TierConfig
+{
+    /**
+     * Backedges into a resident DTB entry before its address is hot
+     * enough to anchor a trace recording.
+     */
+    uint32_t hotThreshold = 8;
+    /** Maximum DIR instructions recorded into one trace. */
+    size_t traceCap = 64;
+    /**
+     * Tier-2 generation cycles per emitted short instruction
+     * (constructing the fused body; the buffer store adds tauD each,
+     * mirroring the tier-1 translator's g).
+     */
+    uint64_t gen2CyclesPerInstr = 2;
+    /** Dispatch cycles per trace entry and per loop-back. */
+    uint64_t dispatchCycles = 2;
+    /**
+     * Recording attempts per head before the head is blacklisted
+     * (aborted or uninstallable traces stop being retried).
+     */
+    uint32_t maxRecordAttempts = 4;
+};
+
+/**
+ * One step of a compiled trace: the fused PSDER body of one DIR
+ * instruction — or one fusion group of several — with the trailing
+ * INTERP elided. Control inside the trace is implicit (the next step
+ * follows); steps whose DIR successor is computed at run time carry a
+ * guard instead: the successor the semantic routine left on the operand
+ * stack is popped and compared against the recorded one, and a mismatch
+ * side-exits the trace to the popped address.
+ */
+struct TraceStep
+{
+    /** PUSH/CALL short instructions; never INTERP. */
+    std::vector<ShortInstr> body;
+    /** Pop the stack successor and compare against #expect. */
+    bool guarded = false;
+    /** Expected successor DIR bit address (guarded steps). */
+    uint64_t expect = 0;
+    /** Static successor (unguarded steps; informational). */
+    uint64_t staticNext = 0;
+    /**
+     * DIR bit addresses this step retires, in execution order — one for
+     * a plain step, several for a fused group. Preserves per-DIR
+     * instruction counting and the reference trace.
+     */
+    std::vector<uint64_t> dirAddrs;
+};
+
+/** One compiled trace. */
+struct Trace
+{
+    /** Anchoring DIR bit address (the loop head). */
+    uint64_t head = 0;
+    std::vector<TraceStep> steps;
+    /** The last step's successor is the head (a looping trace). */
+    bool loops = false;
+    /** Successor after the last step (non-looping traces). */
+    uint64_t exitAddr = 0;
+    /** DIR instructions retired per full pass over the steps. */
+    uint64_t dirCount = 0;
+    /** Short instructions in all bodies (capacity and g2 accounting). */
+    uint64_t shortCount = 0;
+    /** Fusion groups the tier-2 compiler formed. */
+    uint64_t fusedGroups = 0;
+};
+
+} // namespace uhm::tier
+
+#endif // UHM_TIER_TRACE_HH

@@ -1,0 +1,208 @@
+#include "tier/trace_cache.hh"
+
+#include "support/logging.hh"
+
+namespace uhm::tier
+{
+
+TraceCache::TraceCache(const TraceCacheConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    uhm_assert(config.unitShortInstrs >= 1, "unit of allocation empty");
+    // Round the unit size up to whole bytes (same argument as the DTB:
+    // flooring would undersize the unit and overcommit the buffer).
+    uint64_t unit_bits =
+        uint64_t{config.unitShortInstrs} * shortInstrBits;
+    uint64_t unit_bytes = (unit_bits + 7) / 8;
+    unitsTotal_ = config.capacityBytes / unit_bytes;
+    uhm_assert(unitsTotal_ >= 1, "trace cache smaller than one unit");
+
+    // One tag entry per unit: the tag array can never run out before
+    // the unit budget does.
+    numEntries_ = unitsTotal_;
+    // 0 = fully associative; a tiny cache clamps the requested ways to
+    // the entry count instead of refusing to exist.
+    assoc_ = config.assoc == 0 ||
+             config.assoc > numEntries_ ?
+        static_cast<unsigned>(numEntries_) : config.assoc;
+    numSets_ = numEntries_ / assoc_;
+    uhm_assert(numSets_ >= 1, "no sets");
+    numEntries_ = numSets_ * assoc_;
+
+    entries_.assign(numEntries_, Entry{});
+    repl_.reserve(numSets_);
+    for (uint64_t s = 0; s < numSets_; ++s)
+        repl_.emplace_back(assoc_, config.policy, &rng_);
+}
+
+uint64_t
+TraceCache::setOf(uint64_t head) const
+{
+    uint64_t h = head * 0x9e3779b97f4a7c15ull;
+    return (h >> 32) % numSets_;
+}
+
+TraceCache::Entry *
+TraceCache::findEntry(uint64_t head)
+{
+    uint64_t set = setOf(head);
+    Entry *set_entries = &entries_[set * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &e = set_entries[way];
+        if (e.meta.valid && e.meta.tag == head)
+            return &e;
+    }
+    return nullptr;
+}
+
+const Trace *
+TraceCache::lookup(uint64_t head)
+{
+    uint64_t set = setOf(head);
+    Entry *set_entries = &entries_[set * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &e = set_entries[way];
+        if (e.meta.valid && e.meta.tag == head) {
+            repl_[set].touch(way);
+            ++hits_;
+            ++e.meta.useCount;
+            return &e.trace;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+const Trace *
+TraceCache::find(uint64_t head) const
+{
+    Entry *e = const_cast<TraceCache *>(this)->findEntry(head);
+    return e ? &e->trace : nullptr;
+}
+
+TraceCache::InsertOutcome
+TraceCache::insert(Trace trace)
+{
+    unsigned units_needed = static_cast<unsigned>(
+        (trace.shortCount + config_.unitShortInstrs - 1) /
+        config_.unitShortInstrs);
+    if (units_needed == 0)
+        units_needed = 1;
+
+    InsertOutcome out;
+    out.unitsNeeded = units_needed;
+
+    uint64_t set = setOf(trace.head);
+    Entry *set_entries = &entries_[set * assoc_];
+
+    // A resident trace with the same head is always its own victim
+    // (re-installation replaces it); otherwise prefer an invalid way,
+    // then the replacement array's choice.
+    unsigned way = assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set_entries[w].meta.valid &&
+            set_entries[w].meta.tag == trace.head) {
+            way = w;
+            break;
+        }
+    }
+    if (way == assoc_) {
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!set_entries[w].meta.valid) {
+                way = w;
+                break;
+            }
+        }
+    }
+    Entry *victim = nullptr;
+    if (way == assoc_) {
+        way = repl_[set].victim();
+        victim = &set_entries[way];
+    } else if (set_entries[way].meta.valid) {
+        victim = &set_entries[way];
+    }
+
+    // Check the unit budget before destroying anything: the victim's
+    // units count toward the supply, but if the budget still cannot
+    // cover the trace, the resident victim survives.
+    uint64_t victim_release =
+        victim && victim->meta.valid ? victim->meta.units : 0;
+    if (units_needed > unitsTotal_ - unitsUsed_ + victim_release) {
+        ++rejects_;
+        return out;
+    }
+
+    if (victim) {
+        out.evicted = true;
+        out.victimHead = victim->meta.tag;
+        evict(*victim);
+        ++evictions_;
+    }
+
+    Entry &e = set_entries[way];
+    e.meta.reset();
+    e.meta.tag = trace.head;
+    e.meta.valid = true;
+    e.meta.units = units_needed;
+    e.trace = std::move(trace);
+    unitsUsed_ += units_needed;
+    repl_[set].fill(way);
+    ++inserts_;
+    out.retained = true;
+    return out;
+}
+
+bool
+TraceCache::invalidate(uint64_t head)
+{
+    Entry *e = findEntry(head);
+    if (!e)
+        return false;
+    evict(*e);
+    ++invalidations_;
+    return true;
+}
+
+void
+TraceCache::invalidateAll()
+{
+    for (Entry &e : entries_) {
+        if (e.meta.valid)
+            evict(e);
+    }
+}
+
+void
+TraceCache::evict(Entry &entry)
+{
+    uhm_assert(unitsUsed_ >= entry.meta.units,
+               "trace-cache unit accounting underflow");
+    unitsUsed_ -= entry.meta.units;
+    entry.meta.reset();
+    entry.trace = Trace{};
+}
+
+void
+TraceCache::registerCounters(obs::Registry &registry,
+                             const std::string &prefix) const
+{
+    registry.add(obs::joinName(prefix, "hits"), hits_);
+    registry.add(obs::joinName(prefix, "misses"), misses_);
+    registry.add(obs::joinName(prefix, "inserts"), inserts_);
+    registry.add(obs::joinName(prefix, "evictions"), evictions_);
+    registry.add(obs::joinName(prefix, "rejects"), rejects_);
+    registry.add(obs::joinName(prefix, "invalidations"), invalidations_);
+}
+
+void
+TraceCache::resetStats()
+{
+    hits_.reset();
+    misses_.reset();
+    inserts_.reset();
+    evictions_.reset();
+    rejects_.reset();
+    invalidations_.reset();
+}
+
+} // namespace uhm::tier

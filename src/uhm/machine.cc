@@ -16,6 +16,7 @@ machineKindName(MachineKind kind)
       case MachineKind::Cached:       return "cached";
       case MachineKind::Dtb:          return "dtb";
       case MachineKind::Dtb2:         return "dtb2";
+      case MachineKind::Tiered:       return "tiered";
     }
     return "?";
 }
@@ -32,6 +33,11 @@ Machine::Machine(const EncodedDir &image, const MachineConfig &config)
         [[fallthrough]];
       case MachineKind::Dtb:
         dtb_ = std::make_unique<Dtb>(config_.dtb);
+        break;
+      case MachineKind::Tiered:
+        dtb_ = std::make_unique<Dtb>(config_.dtb);
+        tier_ = std::make_unique<tier::TierEngine>(
+            image, *dtb_, config_.tier, config_.traceCache);
         break;
       case MachineKind::Cached:
         icache_ = std::make_unique<SetAssocCache>(config_.icache);
@@ -63,6 +69,14 @@ Machine::Machine(const EncodedDir &image, const MachineConfig &config)
         dtbL1_->registerCounters(registry_, "dtbl1");
     if (icache_)
         icache_->registerCounters(registry_, "icache");
+    if (tier_) {
+        tier_->registerCounters(registry_, "tier");
+        registry_.add("tier.trace_dir_instrs", traceDirInstrs_);
+        registry_.add("tier.trace_short_instrs", traceShortInstrs_);
+        registry_.add("tier.trace_iterations", traceIterations_);
+        registry_.add("tier.trace_enters", traceEnters_);
+        registry_.add("tier.trace_exits", traceExits_);
+    }
 }
 
 Machine::~Machine() = default;
@@ -307,6 +321,43 @@ Machine::runConventionalOrCached()
     }
 }
 
+void
+Machine::executeShort(const ShortInstr &si)
+{
+    switch (si.op) {
+      case SOp::PUSH: {
+        int64_t value = si.operand;
+        if (si.mode == SMode::Direct || si.mode == SMode::Indirect) {
+            uint64_t before = mem_.cycles();
+            value = mem_.read(static_cast<uint64_t>(si.operand));
+            if (si.mode == SMode::Indirect)
+                value = mem_.read(static_cast<uint64_t>(value));
+            breakdown_.stage += mem_.cycles() - before;
+        }
+        pushStack(value, breakdown_.stage);
+        break;
+      }
+      case SOp::POP: {
+        int64_t value = popStack(breakdown_.stage);
+        uint64_t before = mem_.cycles();
+        uint64_t addr = static_cast<uint64_t>(si.operand);
+        if (si.mode == SMode::Indirect)
+            addr = static_cast<uint64_t>(mem_.read(addr));
+        mem_.write(addr, value);
+        breakdown_.stage += mem_.cycles() - before;
+        break;
+      }
+      case SOp::CALL: {
+        const MicroRoutine &routine = routines_.byId(si.operand);
+        if (!routine.empty())
+            runRoutine(routine);
+        break;
+      }
+      case SOp::INTERP:
+        panic("INTERP outside the dispatch loop");
+    }
+}
+
 uint64_t
 Machine::executeShortSequence(const std::vector<ShortInstr> &code,
                               uint64_t fetch_cost)
@@ -315,43 +366,65 @@ Machine::executeShortSequence(const std::vector<ShortInstr> &code,
         // IU2 fetches each short instruction from the buffer array.
         breakdown_.dispatch += fetch_cost;
         ++shortInstrs_;
-        switch (si.op) {
-          case SOp::PUSH: {
-            int64_t value = si.operand;
-            if (si.mode == SMode::Direct || si.mode == SMode::Indirect) {
-                uint64_t before = mem_.cycles();
-                value = mem_.read(static_cast<uint64_t>(si.operand));
-                if (si.mode == SMode::Indirect)
-                    value = mem_.read(static_cast<uint64_t>(value));
-                breakdown_.stage += mem_.cycles() - before;
-            }
-            pushStack(value, breakdown_.stage);
-            break;
-          }
-          case SOp::POP: {
-            int64_t value = popStack(breakdown_.stage);
-            uint64_t before = mem_.cycles();
-            uint64_t addr = static_cast<uint64_t>(si.operand);
-            if (si.mode == SMode::Indirect)
-                addr = static_cast<uint64_t>(mem_.read(addr));
-            mem_.write(addr, value);
-            breakdown_.stage += mem_.cycles() - before;
-            break;
-          }
-          case SOp::CALL: {
-            const MicroRoutine &routine = routines_.byId(si.operand);
-            if (!routine.empty())
-                runRoutine(routine);
-            break;
-          }
-          case SOp::INTERP:
+        if (si.op == SOp::INTERP) {
             if (si.mode == SMode::Stack)
                 return static_cast<uint64_t>(
                     popStack(breakdown_.dispatch));
             return static_cast<uint64_t>(si.operand);
         }
+        executeShort(si);
     }
     panic("PSDER sequence did not end with INTERP");
+}
+
+uint64_t
+Machine::executeTrace(const tier::Trace &trace)
+{
+    const uint64_t fetch_cost = config_.timing.tauD;
+    for (;;) {
+        ++traceIterations_;
+        for (const tier::TraceStep &step : trace.steps) {
+            for (uint64_t addr : step.dirAddrs) {
+                if (dirInstrs_ >= config_.maxDirInstrs)
+                    fatal("DIR instruction budget exhausted (%llu)",
+                          static_cast<unsigned long long>(
+                              config_.maxDirInstrs));
+                ++dirInstrs_;
+                ++traceDirInstrs_;
+                if (config_.captureAddressTrace)
+                    addressTrace_.push_back(addr);
+            }
+            for (const ShortInstr &si : step.body) {
+                // The fused body is fetched from the trace cache's
+                // buffer array at DTB speed — but carries no INTERP, so
+                // the per-instruction lookup and successor fetch are
+                // gone.
+                breakdown_.dispatch += fetch_cost;
+                ++shortInstrs_;
+                ++traceShortInstrs_;
+                executeShort(si);
+            }
+            if (step.guarded) {
+                // The semantic routine left the successor on the
+                // operand stack (as it would for INTERP); the guard
+                // pops and compares it against the recorded path.
+                uint64_t next = static_cast<uint64_t>(
+                    popStack(breakdown_.dispatch));
+                if (next != step.expect) {
+                    ++traceExits_;
+                    prevPc_ = step.dirAddrs.back();
+                    return next;
+                }
+            }
+        }
+        if (!trace.loops) {
+            ++traceExits_;
+            prevPc_ = trace.steps.back().dirAddrs.back();
+            return trace.exitAddr;
+        }
+        // Loop back to the head: one trace dispatch per iteration.
+        breakdown_.dispatch += config_.tier.dispatchCycles;
+    }
 }
 
 void
@@ -459,6 +532,126 @@ Machine::runDtb()
     }
 }
 
+void
+Machine::runTiered()
+{
+    while (!halted_) {
+        if (dirInstrs_ >= config_.maxDirInstrs)
+            fatal("DIR instruction budget exhausted (%llu)",
+                  static_cast<unsigned long long>(config_.maxDirInstrs));
+
+        // Recorder hook: report the pc about to be interpreted.
+        if (tier_->recording()) {
+            tier::TierEngine::RecordOutcome ro = tier_->recordStep(pc_);
+            if (ro.status == tier::TierEngine::RecordStatus::Closed) {
+                // Tier-2 translation charge: construct each short
+                // instruction of the fused body and store it into the
+                // trace cache's buffer array.
+                breakdown_.translate2 += ro.compile.compiledShorts *
+                    (config_.tier.gen2CyclesPerInstr +
+                     config_.timing.tauD);
+                emitEvent(obs::EventKind::Translate2, ro.compile.head,
+                          ro.compile.compiledShorts);
+                if (ro.compile.evictedTrace)
+                    emitEvent(obs::EventKind::TraceEvict,
+                              ro.compile.evictedHead);
+            } else if (ro.status ==
+                       tier::TierEngine::RecordStatus::Aborted) {
+                emitEvent(obs::EventKind::TraceAbort, pc_);
+            }
+        }
+
+        // INTERP presents the DIR address to the associative address
+        // array (one DTB-array access), as in the Dtb organization.
+        breakdown_.dispatch += config_.timing.tauD;
+        Dtb::LookupResult lr = dtb_->lookup(pc_);
+        const std::vector<ShortInstr> *code = nullptr;
+
+        if (lr.hit) {
+            emitEvent(obs::EventKind::DtbHit, pc_);
+            // Hotness profile: a backward transfer into a resident
+            // entry is a backedge (loops close with one).
+            bool backedge = pc_ <= prevPc_;
+            if (backedge)
+                ++lr.meta->backedgeCount;
+
+            if (lr.meta->anchorsTrace && !tier_->recording()) {
+                // Trace dispatch: one trace-cache access plus the
+                // dispatch overhead — paid once per entry, not once
+                // per instruction.
+                breakdown_.dispatch += config_.timing.tauD +
+                    config_.tier.dispatchCycles;
+                if (const tier::Trace *trace = tier_->lookupTrace(pc_)) {
+                    ++traceEnters_;
+                    emitEvent(obs::EventKind::TraceEnter, pc_,
+                              trace->dirCount);
+                    uint64_t iters_before = traceIterations_.value();
+                    uint64_t next = executeTrace(*trace);
+                    emitEvent(obs::EventKind::TraceExit, next,
+                              traceIterations_.value() - iters_before);
+                    if (next == haltBitAddr)
+                        halted_ = true;
+                    else
+                        pc_ = next;
+                    continue;
+                }
+                // Stale anchor (cleared by lookupTrace): fall back to
+                // the ordinary tier-1 path.
+            }
+            if (backedge && tier_->wantsRecording(*lr.meta, pc_)) {
+                tier_->beginRecording(pc_);
+                emitEvent(obs::EventKind::TraceRecord, pc_);
+            }
+            code = lr.code;
+        } else {
+            // Figure 4 miss flow, with the insert routed through the
+            // tier engine so an eviction invalidates any trace the
+            // victim anchored.
+            emitEvent(obs::EventKind::DtbMiss, pc_);
+            breakdown_.dispatch += config_.trapCycles;
+            ++traps_;
+            emitEvent(obs::EventKind::Trap, pc_, config_.trapCycles);
+            ++decodedInstrs_;
+            ++translatedInstrs_;
+
+            const Translation &tr = translator_.translate(pc_);
+            chargeFetchLevel2(tr.bits);
+            uint64_t decode_cycles =
+                config_.costs.decodeCycles(tr.decodeCost);
+            breakdown_.decode += decode_cycles;
+            emitEvent(obs::EventKind::Decode, pc_, decode_cycles);
+            breakdown_.translate +=
+                tr.genSteps * (1 + config_.timing.tauD);
+            translateShortEmitted_ += tr.code.size();
+            emitEvent(obs::EventKind::Translate, pc_, tr.code.size());
+
+            tier::TierEngine::InstallResult ins =
+                tier_->installTranslation(pc_, tr.code);
+            if (ins.dtb.evicted)
+                emitEvent(obs::EventKind::DtbEvict, ins.dtb.victimTag,
+                          ins.dtb.unitsNeeded);
+            if (ins.invalidatedTrace)
+                emitEvent(obs::EventKind::TraceInvalidate,
+                          ins.dtb.victimTag);
+            if (!ins.dtb.retained)
+                emitEvent(obs::EventKind::DtbReject, pc_,
+                          ins.dtb.unitsNeeded);
+            code = &tr.code;
+        }
+
+        ++dirInstrs_;
+        if (config_.captureAddressTrace)
+            addressTrace_.push_back(pc_);
+        prevPc_ = pc_;
+        uint64_t next =
+            executeShortSequence(*code, config_.timing.tauD);
+        if (next == haltBitAddr)
+            halted_ = true;
+        else
+            pc_ = next;
+    }
+}
+
 RunResult
 Machine::run(const std::vector<int64_t> &input)
 {
@@ -482,6 +675,12 @@ Machine::run(const std::vector<int64_t> &input)
     dirFetchRefs_.reset();
     traps_.reset();
     translateShortEmitted_.reset();
+    traceDirInstrs_.reset();
+    traceShortInstrs_.reset();
+    traceIterations_.reset();
+    traceEnters_.reset();
+    traceExits_.reset();
+    prevPc_ = 0;
     if (config_.profileEvents)
         tracer_.enable(config_.profileEventCapacity);
     else
@@ -502,6 +701,8 @@ Machine::run(const std::vector<int64_t> &input)
         icache_->flush();
         icache_->resetStats();
     }
+    if (tier_)
+        tier_->reset();
 
     // Loader: display D[0] points at the globals; FSP starts just above
     // them. Loader pokes are not charged.
@@ -515,8 +716,10 @@ Machine::run(const std::vector<int64_t> &input)
 
     pc_ = image_->entryBitAddr();
 
-    if (config_.kind == MachineKind::Dtb ||
-        config_.kind == MachineKind::Dtb2) {
+    if (config_.kind == MachineKind::Tiered) {
+        runTiered();
+    } else if (config_.kind == MachineKind::Dtb ||
+               config_.kind == MachineKind::Dtb2) {
         runDtb();
     } else {
         runConventionalOrCached();
@@ -557,6 +760,24 @@ Machine::run(const std::vector<int64_t> &input)
         result.cacheHitRatio = icache_->hitRatio();
         result.stats.add("icache_hits", icache_->hits());
         result.stats.add("icache_misses", icache_->misses());
+    }
+    if (tier_) {
+        result.traceHitRatio = tier_->cache().hitRatio();
+        result.traceCoverage = dirInstrs_ == 0 ? 0.0 :
+            static_cast<double>(traceDirInstrs_.value()) /
+            static_cast<double>(dirInstrs_.value());
+        result.traceMeanIterLen = traceIterations_ == 0 ? 0.0 :
+            static_cast<double>(traceDirInstrs_.value()) /
+            static_cast<double>(traceIterations_.value());
+        result.measuredG2 = tier_->compiledShortInstrs() == 0 ? 0.0 :
+            static_cast<double>(breakdown_.translate2) /
+            static_cast<double>(tier_->compiledShortInstrs());
+        result.stats.add("trace_dir_instrs", traceDirInstrs_.value());
+        result.stats.add("trace_short_instrs",
+                         traceShortInstrs_.value());
+        result.stats.add("trace_iterations", traceIterations_.value());
+        result.stats.add("trace_enters", traceEnters_.value());
+        result.stats.add("trace_exits", traceExits_.value());
     }
 
     result.measuredD = decodedInstrs_ == 0 ? 0.0 :

@@ -16,7 +16,13 @@
  *    instruction, generates the PSDER translation, stores it in the DTB
  *    and starts it (T2; the Figure 4 flow).
  *
- * All three share the memory, the operand/return stacks and the
+ * Two extensions go beyond the paper's three cases: Dtb2 adds a second,
+ * tau1-speed translation buffer in front of the DTB, and Tiered (T4)
+ * layers the adaptive tier of src/tier/ on the Dtb organization —
+ * hotness profiling, trace recording, and tier-2 re-translation of hot
+ * loops into fused PSDER trace bodies held in a trace cache.
+ *
+ * All organizations share the memory, the operand/return stacks and the
  * semantic-routine library, so program outputs are identical across
  * organizations; only the fetch/decode/translate path — and therefore
  * the cycle count — differs.
@@ -45,6 +51,7 @@
 #include "psder/layout.hh"
 #include "psder/routines.hh"
 #include "psder/staging.hh"
+#include "tier/engine.hh"
 #include "uhm/costs.hh"
 
 namespace uhm
@@ -63,6 +70,14 @@ enum class MachineKind : uint8_t
      * main DTB; hot translations are promoted on reuse.
      */
     Dtb2,
+    /**
+     * T4: adaptive tiered translation — the Dtb organization plus a
+     * hotness profiler, trace recorder, tier-2 translator and trace
+     * cache (src/tier/). Hot loops are re-translated into single
+     * fused PSDER bodies that pay one trace dispatch per iteration
+     * instead of one DTB lookup per instruction.
+     */
+    Tiered,
 };
 
 /** Printable name of a machine kind. */
@@ -89,6 +104,10 @@ struct MachineConfig
         .overflowFraction = 0.25,
         .seed = 11,
     };
+    /** Trace formation policy (Tiered only). */
+    tier::TierConfig tier;
+    /** Trace cache above the DTB (Tiered only). */
+    tier::TraceCacheConfig traceCache;
     /** Runaway guard: abort after this many DIR instructions. */
     uint64_t maxDirInstrs = 500'000'000;
     /** Fixed trap overhead on a DTB miss (DTRPOINT branch, Figure 4). */
@@ -122,11 +141,13 @@ struct CycleBreakdown
     uint64_t dispatch = 0;  ///< INTERP lookups, IU2 fetches, loop overhead
     uint64_t semantic = 0;  ///< IU1 semantic-routine execution (x)
     uint64_t translate = 0; ///< PSDER generation + buffer stores (g)
+    uint64_t translate2 = 0; ///< tier-2 trace compilation (g2, Tiered)
 
     uint64_t
     total() const
     {
-        return fetch + decode + stage + dispatch + semantic + translate;
+        return fetch + decode + stage + dispatch + semantic + translate +
+            translate2;
     }
 };
 
@@ -187,6 +208,16 @@ struct RunResult
     double measuredX = 0.0;
     /** Measured average translate cycles per translated instruction. */
     double measuredG = 0.0;
+
+    // ---- Tiered (T4) measurements; defaults are the no-tier values. ----
+    /** Trace-cache hit ratio (Tiered only; 1.0 otherwise). */
+    double traceHitRatio = 1.0;
+    /** Fraction of DIR instructions retired inside traces (hT). */
+    double traceCoverage = 0.0;
+    /** Average DIR instructions per trace iteration (nT; 0 = none). */
+    double traceMeanIterLen = 0.0;
+    /** Measured tier-2 cycles per compiled short instruction (g2). */
+    double measuredG2 = 0.0;
 };
 
 /** The universal host machine. */
@@ -207,8 +238,11 @@ class Machine
     /** Execute the program to HALT. */
     RunResult run(const std::vector<int64_t> &input = {});
 
-    /** The DTB (Dtb/Dtb2 kinds; null otherwise). */
+    /** The DTB (Dtb/Dtb2/Tiered kinds; null otherwise). */
     const Dtb *dtb() const { return dtb_.get(); }
+
+    /** The tier engine (Tiered kind only; null otherwise). */
+    const tier::TierEngine *tier() const { return tier_.get(); }
 
     /** The first-level translation buffer (Dtb2 only). */
     const Dtb *dtbL1() const { return dtbL1_.get(); }
@@ -244,9 +278,13 @@ class Machine
     // ---- execution loops ---------------------------------------------------
     void runConventionalOrCached();
     void runDtb();
+    void runTiered();
 
     /** Perform the staging actions and semantics of one instruction. */
     void executeStaged(const Staging &staging);
+
+    /** Execute one non-INTERP short instruction (PUSH/POP/CALL). */
+    void executeShort(const ShortInstr &si);
 
     /**
      * Execute one PSDER short sequence; returns the successor address.
@@ -255,6 +293,15 @@ class Machine
      */
     uint64_t executeShortSequence(const std::vector<ShortInstr> &code,
                                   uint64_t fetch_cost);
+
+    /**
+     * Execute a compiled tier-2 trace until a guard side-exits or a
+     * non-looping trace runs out of steps; returns the exit address.
+     * Counts every covered DIR instruction exactly as the tier-1 loop
+     * would (dirInstrs, address trace), charges tauD per body short
+     * instruction and TierConfig::dispatchCycles per loop-back.
+     */
+    uint64_t executeTrace(const tier::Trace &trace);
 
     void traceEvent(const std::string &event);
 
@@ -279,6 +326,7 @@ class Machine
     std::unique_ptr<Dtb> dtb_;
     std::unique_ptr<Dtb> dtbL1_;
     std::unique_ptr<SetAssocCache> icache_;
+    std::unique_ptr<tier::TierEngine> tier_;
     DynamicTranslator translator_;
     /**
      * Host-side decode/staging memos for the conventional and cached
@@ -296,6 +344,8 @@ class Machine
     uint64_t sp_ = 0;
     std::vector<uint64_t> ras_;
     uint64_t pc_ = 0;
+    /** Previously interpreted DIR address (backedge detection). */
+    uint64_t prevPc_ = 0;
     bool halted_ = false;
 
     // I/O.
@@ -315,6 +365,17 @@ class Machine
     obs::Counter traps_;
     /** Short instructions emitted by the dynamic translator. */
     obs::Counter translateShortEmitted_;
+    // Tiered-execution counters (registered under "tier.*").
+    /** DIR instructions retired inside traces. */
+    obs::Counter traceDirInstrs_;
+    /** Body short instructions executed inside traces. */
+    obs::Counter traceShortInstrs_;
+    /** Trace iterations (passes over a trace's steps) started. */
+    obs::Counter traceIterations_;
+    /** Trace dispatches (entries from the tier-1 loop). */
+    obs::Counter traceEnters_;
+    /** Trace exits (guard side-exits and non-looping run-offs). */
+    obs::Counter traceExits_;
     obs::Registry registry_;
     obs::Tracer tracer_;
     std::vector<std::string> trace_;

@@ -22,6 +22,7 @@ buildProfile(const ProfileMeta &meta, const RunResult &result)
         {"fetch", b.fetch},         {"decode", b.decode},
         {"stage", b.stage},         {"dispatch", b.dispatch},
         {"semantic", b.semantic},   {"translate", b.translate},
+        {"translate2", b.translate2},
         {"total", b.total()},
     };
 
@@ -51,6 +52,11 @@ buildProfile(const ProfileMeta &meta, const RunResult &result)
     p.ratios.emplace_back("measured_d", result.measuredD);
     p.ratios.emplace_back("measured_x", result.measuredX);
     p.ratios.emplace_back("measured_g", result.measuredG);
+    p.ratios.emplace_back("tier.trace_hit_ratio", result.traceHitRatio);
+    p.ratios.emplace_back("tier.coverage", result.traceCoverage);
+    p.ratios.emplace_back("tier.mean_iter_len",
+                          result.traceMeanIterLen);
+    p.ratios.emplace_back("measured_g2", result.measuredG2);
 
     p.events = result.events;
     p.eventsSeen = result.eventsSeen;

@@ -168,7 +168,7 @@ TEST_F(AccountingFixture, AddressTraceIdenticalAcrossMachineKinds)
     std::vector<uint64_t> reference;
     for (MachineKind kind : {MachineKind::Conventional,
                              MachineKind::Cached, MachineKind::Dtb,
-                             MachineKind::Dtb2}) {
+                             MachineKind::Dtb2, MachineKind::Tiered}) {
         Machine machine(*image_, tracedConfig(kind));
         RunResult r = machine.run();
         if (reference.empty())

@@ -62,7 +62,8 @@ TEST_P(FuzzDifferential, HlrAndAllMachinePathsAgree)
                                   EncodingScheme::Quantized}) {
         auto image = encodeDir(prog, scheme);
         for (MachineKind kind : {MachineKind::Conventional,
-                                 MachineKind::Dtb, MachineKind::Dtb2}) {
+                                 MachineKind::Dtb, MachineKind::Dtb2,
+                                 MachineKind::Tiered}) {
             MachineConfig mc;
             mc.kind = kind;
             Machine machine(*image, mc);

@@ -42,7 +42,7 @@ runAllKinds(const DirProgram &prog, EncodingScheme scheme,
     auto image = encodeDir(prog, scheme);
     for (MachineKind kind : {MachineKind::Conventional,
                              MachineKind::Cached, MachineKind::Dtb,
-                             MachineKind::Dtb2}) {
+                             MachineKind::Dtb2, MachineKind::Tiered}) {
         Machine machine(*image, configFor(kind));
         results.push_back(machine.run(input));
     }
@@ -89,6 +89,58 @@ TEST(ModelAgreement, MeasuredT2WithinModelBallpark)
     double predicted_t1 = analytic::t1(p);
     double measured_t1 = r1.avgInterpTime();
     EXPECT_NEAR(predicted_t1, measured_t1, 0.25 * measured_t1);
+}
+
+TEST(ModelAgreement, MeasuredT4WithinModelBallpark)
+{
+    // Same contract as the T2 test, one tier up: the measured tier
+    // parameters (hT, nT, s1T, g2, cT) plugged into the section-7-style
+    // T4 expression must land near the simulated Tiered average
+    // interpretation time, to the same 25% tolerance.
+    workload::SyntheticConfig wcfg;
+    wcfg.numLoops = 8;
+    wcfg.bodyInstrs = 40;
+    wcfg.iterations = 10;
+    wcfg.outerRepeats = 5;
+    wcfg.seed = 31;
+    DirProgram prog = workload::generateSynthetic(wcfg);
+    auto image = encodeDir(prog, EncodingScheme::Huffman);
+
+    Machine conv(*image, configFor(MachineKind::Conventional));
+    Machine tiered(*image, configFor(MachineKind::Tiered));
+    RunResult r1 = conv.run();
+    RunResult r4 = tiered.run();
+
+    double trace_dir =
+        static_cast<double>(r4.stats.get("trace_dir_instrs"));
+    double trace_short =
+        static_cast<double>(r4.stats.get("trace_short_instrs"));
+    double dir_instrs = static_cast<double>(r4.dirInstrs);
+    double compiled = static_cast<double>(
+        r4.counters.at("tier.compiled_short_instrs"));
+    ASSERT_GT(trace_dir, 0.0) << "workload never formed a trace";
+
+    analytic::ModelParams p;
+    p.d = r1.measuredD;
+    p.x = r1.measuredX;
+    p.g = r4.measuredG;
+    p.hD = r4.dtbHitRatio;
+    p.s2 = static_cast<double>(r1.stats.get("dir_fetch_refs")) /
+           static_cast<double>(r1.dirInstrs);
+    // Cold instructions' short fetches per instruction: the aggregate
+    // s1 minus the trace-resident share.
+    p.s1 = (static_cast<double>(r4.stats.get("short_instrs")) -
+            trace_short) / (dir_instrs - trace_dir);
+    p.hT = r4.traceCoverage;
+    p.nT = r4.traceMeanIterLen;
+    p.s1T = trace_short / trace_dir;
+    p.g2 = r4.measuredG2;
+    p.cT = compiled / dir_instrs;
+
+    double predicted = analytic::t4(p);
+    double measured = r4.avgInterpTime();
+    EXPECT_NEAR(predicted, measured, 0.25 * measured)
+        << "model " << predicted << " vs sim " << measured;
 }
 
 TEST(ModelAgreement, F2SignAndTrendMatchSimulation)

@@ -28,7 +28,8 @@ testBatch()
     const std::vector<std::string> names = {"fib", "collatz", "sieve"};
     const std::vector<MachineKind> kinds = {MachineKind::Conventional,
                                             MachineKind::Cached,
-                                            MachineKind::Dtb};
+                                            MachineKind::Dtb,
+                                            MachineKind::Tiered};
     std::vector<SweepPoint> points;
     for (const std::string &name : names) {
         for (MachineKind kind : kinds) {

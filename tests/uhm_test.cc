@@ -254,7 +254,8 @@ TEST_P(MachineKinds, BreakdownSumsToTotal)
 INSTANTIATE_TEST_SUITE_P(
     Kinds, MachineKinds,
     ::testing::Values(MachineKind::Conventional, MachineKind::Cached,
-                      MachineKind::Dtb, MachineKind::Dtb2),
+                      MachineKind::Dtb, MachineKind::Dtb2,
+                      MachineKind::Tiered),
     [](const ::testing::TestParamInfo<MachineKind> &info) {
         return std::string(machineKindName(info.param));
     });
@@ -297,7 +298,8 @@ diffCases()
             for (MachineKind kind : {MachineKind::Conventional,
                                      MachineKind::Cached,
                                      MachineKind::Dtb,
-                                     MachineKind::Dtb2}) {
+                                     MachineKind::Dtb2,
+                                     MachineKind::Tiered}) {
                 cases.push_back({sample.name, scheme, kind});
             }
         }
