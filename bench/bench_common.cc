@@ -179,6 +179,41 @@ sweepPointLine(const SweepPoint &point, const RunResult &r)
     return jw.str() + "\n";
 }
 
+/** Render one point's "sweep_hist" line (empty when no histograms). */
+std::string
+sweepHistLine(const SweepPoint &point, const RunResult &r)
+{
+    if (r.histograms.empty())
+        return {};
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("type").value("sweep_hist");
+    jw.key("program").value(point.label);
+    for (const auto &kv : r.histograms) {
+        jw.key(kv.first);
+        kv.second.writeJson(jw);
+    }
+    jw.endObject();
+    return jw.str() + "\n";
+}
+
+/** Render one point's "sweep_sample" lines (empty when sampling off). */
+std::string
+sweepSampleLines(const SweepPoint &point, const RunResult &r)
+{
+    std::string out;
+    for (const obs::OccupancySample &s : r.samples) {
+        JsonWriter jw;
+        jw.beginObject();
+        jw.key("type").value("sweep_sample");
+        jw.key("program").value(point.label);
+        obs::writeSampleFields(jw, s);
+        jw.endObject();
+        out += jw.str() + "\n";
+    }
+    return out;
+}
+
 } // anonymous namespace
 
 SweepReport
@@ -195,7 +230,10 @@ runSweep(SweepRunner &runner, const std::vector<SweepPoint> &points)
     // any job count.
     for (size_t i = 0; i < points.size(); ++i) {
         report.jsonl += sweepPointLine(points[i], report.results[i]);
+        report.jsonl += sweepHistLine(points[i], report.results[i]);
+        report.jsonl += sweepSampleLines(points[i], report.results[i]);
         report.counters.accumulate(report.results[i].counters);
+        report.histograms.accumulate(report.results[i].histograms);
     }
 
     JsonWriter jw;
@@ -204,6 +242,8 @@ runSweep(SweepRunner &runner, const std::vector<SweepPoint> &points)
     jw.key("points").value(static_cast<uint64_t>(points.size()));
     jw.key("counters");
     report.counters.writeJson(jw);
+    jw.key("histograms");
+    report.histograms.writeJson(jw);
     jw.endObject();
     report.jsonl += jw.str() + "\n";
     return report;

@@ -205,13 +205,18 @@ struct SweepPoint
 struct SweepReport
 {
     /**
-     * One "sweep_point" JSON line per point, in point order, then one
-     * "sweep_summary" line carrying the merged counters. Byte-identical
-     * for any job count (schema in docs/BENCHMARKS.md).
+     * One "sweep_point" JSON line per point, in point order — followed
+     * by a "sweep_hist" line when the point registered histograms and
+     * one "sweep_sample" line per occupancy sample when sampling was
+     * on — then one "sweep_summary" line carrying the merged counters
+     * and histograms. Byte-identical for any job count (schema in
+     * docs/BENCHMARKS.md).
      */
     std::string jsonl;
     /** Counters of all points, merged in point order. */
     obs::MergedCounters counters;
+    /** Histograms of all points, merged in point order. */
+    obs::MergedHistograms histograms;
     /** The raw per-point results, in point order. */
     std::vector<RunResult> results;
 };

@@ -10,8 +10,9 @@
  *
  * Usage: bench_export [--jobs=N] [sidecar.jsonl]
  * With a file argument, additionally writes the profile reports as a
- * JSONL sidecar (one meta/phases/counters/ratios/trace_summary block
- * per program × machine kind; format in docs/INTERNALS.md). The
+ * JSONL sidecar (one meta/phases/counters/histograms/ratios/
+ * trace_summary/sample block per program × machine kind; format in
+ * docs/INTERNALS.md). The
  * simulation points of every section run on a SweepRunner (--jobs=N,
  * default all cores); the document is assembled in section order and
  * stays byte-identical for any job count.
@@ -226,7 +227,8 @@ exportProfiles(SweepRunner &runner, JsonWriter &jw, std::string *sidecar)
     const std::vector<std::string> names = {"sieve", "fib", "qsort"};
     const std::vector<MachineKind> kinds = {MachineKind::Conventional,
                                             MachineKind::Cached,
-                                            MachineKind::Dtb};
+                                            MachineKind::Dtb,
+                                            MachineKind::Tiered};
     // One worker per (program, organization) point; each builds its
     // own machine, registry and profile, merged here in point order.
     auto profiles = runner.map(names.size() * kinds.size(),
@@ -236,7 +238,11 @@ exportProfiles(SweepRunner &runner, JsonWriter &jw, std::string *sidecar)
         MachineKind kind = kinds[i % kinds.size()];
         DirProgram prog = hlr::compileSource(sample.source);
         auto image = encodeDir(prog, EncodingScheme::Huffman);
-        Machine machine(*image, makeConfig(kind));
+        MachineConfig cfg = makeConfig(kind);
+        // The sidecars double as the sampler's reference series:
+        // a coarse interval keeps them a handful of lines per run.
+        cfg.sampleIntervalCycles = 16384;
+        Machine machine(*image, cfg);
         RunResult r = machine.run(sample.input);
         ProfileMeta meta;
         meta.program = sample.name;

@@ -3,8 +3,11 @@
  * uhm_cli — a command-line driver for the whole pipeline.
  *
  * Usage:
- *   uhm_cli [options] <sample-name | path/to/program.ctr>
+ *   uhm_cli [run] [options] <sample-name | path/to/program.ctr>
  *   uhm_cli sweep [options] [program ...]
+ *
+ * "run" is the (optional) explicit name of the single-program
+ * subcommand; omitting it is equivalent.
  *
  * The sweep subcommand runs a batch of programs concurrently on the
  * parallel sweep harness (bench/bench_common.hh) and emits a JSONL
@@ -44,10 +47,17 @@
  *   --stats                print the full counter set after the run
  *   --trace                print the INTERP event trace (DTB kinds)
  *   --profile[=<file>]     emit a JSONL profile report (phases,
- *                          counters, ratios) to <file>, or to stderr
- *                          when no file is given; combined with
- *                          --trace the report also carries typed event
- *                          lines. Format: docs/INTERNALS.md
+ *                          counters, histograms, ratios) to <file>, or
+ *                          to stderr when no file is given; combined
+ *                          with --trace the report also carries typed
+ *                          event lines. Format: docs/INTERNALS.md
+ *   --timeline=<file>      record the typed event trace and write a
+ *                          Chrome-trace-event JSON timeline (loadable
+ *                          in Perfetto / chrome://tracing; see
+ *                          scripts/trace_report.py) to <file>
+ *   --sample-interval=<n>  snapshot DTB / trace-cache occupancy and
+ *                          hit-rate deltas every <n> cycles into the
+ *                          profile report and timeline (0 = off)
  *
  * The program argument may be a sample name, a Contour source file, a
  * DIR assembly file (.dira) or a DIR binary (.dirb).
@@ -55,6 +65,7 @@
  * Exit status: 0 on success, 1 on user error.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +73,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/timeline.hh"
 
 #include "bench_common.hh"
 #include "dir/asm.hh"
@@ -95,6 +108,10 @@ struct Options
     bool profile = false;
     /** Profile destination; "-" = stderr. */
     std::string profilePath = "-";
+    /** Chrome-trace timeline destination; empty = no timeline. */
+    std::string timelinePath;
+    /** Occupancy-sampler interval in cycles; 0 = off. */
+    uint64_t sampleInterval = 0;
     std::string emitAsm;
     std::string emitBin;
 };
@@ -132,10 +149,11 @@ void
 printMainHelp()
 {
     std::fputs(
-        "usage: uhm_cli [options] <sample-name | path/to/program>\n"
+        "usage: uhm_cli [run] [options] <sample-name | path/to/program>\n"
         "       uhm_cli sweep [options] [program ...]\n"
         "\n"
-        "Run one program on the simulated universal host machine.\n"
+        "Run one program on the simulated universal host machine\n"
+        "(the explicit \"run\" subcommand name is optional).\n"
         "\n",
         stdout);
     std::fputs(commonOptionsHelp, stdout);
@@ -150,9 +168,13 @@ printMainHelp()
         "  --stats                print the full counter set\n"
         "  --trace                print the INTERP event trace\n"
         "  --profile[=<file>]     emit a JSONL profile report\n"
+        "  --timeline=<file>      write a Chrome-trace timeline (load\n"
+        "                         in Perfetto or chrome://tracing)\n"
+        "  --sample-interval=<n>  sample DTB/trace-cache occupancy\n"
+        "                         every <n> cycles (0 = off)\n"
         "\n"
-        "example: uhm_cli --machine=tiered --tier-threshold=4 "
-        "--trace-cap=32 loops\n",
+        "example: uhm_cli run --machine=tiered --timeline=out.json "
+        "loops\n",
         stdout);
 }
 
@@ -170,6 +192,8 @@ printSweepHelp()
     std::fputs(
         "  --jobs=<n>             worker threads (default: all cores)\n"
         "  --seed=<n>             seed for the \"synthetic\" workload\n"
+        "  --sample-interval=<n>  sample DTB/trace-cache occupancy\n"
+        "                         every <n> cycles per point (0 = off)\n"
         "  --out=<file>           write the report to <file> (stdout)\n"
         "\n"
         "example: uhm_cli sweep --machine=tiered --jobs=8 "
@@ -262,8 +286,13 @@ parseArgs(int argc, char **argv)
             opts.profile = true;
             opts.profilePath = value("--profile=");
         }
-        else if (arg.rfind("--", 0) == 0)
-            uhm::fatal("unknown option '%s'", arg.c_str());
+        else if (arg.rfind("--timeline=", 0) == 0)
+            opts.timelinePath = value("--timeline=");
+        else if (arg.rfind("--sample-interval=", 0) == 0)
+            opts.sampleInterval =
+                std::stoull(value("--sample-interval="));
+        else if (!arg.empty() && arg[0] == '-')
+            uhm::fatal("unknown option '%s' (try --help)", arg.c_str());
         else
             opts.program = arg;
     }
@@ -308,6 +337,7 @@ runSweepCommand(int argc, char **argv)
 {
     unsigned jobs = 0;
     uint64_t seed = 1978;
+    uint64_t sample_interval = 0;
     uhm::MachineKind kind = uhm::MachineKind::Dtb;
     uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
     uhm::tier::TierConfig tier_cfg;
@@ -342,10 +372,14 @@ runSweepCommand(int argc, char **argv)
             printSweepHelp();
             return 0;
         }
+        else if (arg.rfind("--sample-interval=", 0) == 0)
+            sample_interval =
+                std::stoull(value("--sample-interval="));
         else if (arg.rfind("--out=", 0) == 0)
             out_path = value("--out=");
-        else if (arg.rfind("--", 0) == 0)
-            uhm::fatal("unknown sweep option '%s'", arg.c_str());
+        else if (!arg.empty() && arg[0] == '-')
+            uhm::fatal("unknown sweep option '%s' (try --help)",
+                       arg.c_str());
         else
             programs.push_back(arg);
     }
@@ -367,6 +401,7 @@ runSweepCommand(int argc, char **argv)
         point.config.kind = kind;
         point.config.tier = tier_cfg;
         point.config.traceCache = trace_cache_cfg;
+        point.config.sampleIntervalCycles = sample_interval;
         points.push_back(std::move(point));
     }
 
@@ -397,6 +432,12 @@ main(int argc, char **argv)
 try {
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return runSweepCommand(argc, argv);
+    // "run" is the explicit name of the default subcommand: shift it
+    // off and parse the rest as usual.
+    if (argc > 1 && std::strcmp(argv[1], "run") == 0) {
+        --argc;
+        ++argv;
+    }
     Options opts = parseArgs(argc, argv);
     std::vector<int64_t> default_input;
     uhm::DirProgram prog = loadProgram(opts.program, default_input);
@@ -440,7 +481,15 @@ try {
     cfg.traceEvents = opts.trace;
     // The bounded typed-event ring rides along only when the user also
     // asked for tracing; the counter/phase report alone stays small.
-    cfg.profileEvents = opts.profile && opts.trace;
+    // A timeline is built *from* the ring, so --timeline enables it
+    // too — with a much deeper ring, since a truncated timeline is a
+    // lot less useful than a truncated event list.
+    cfg.profileEvents =
+        (opts.profile && opts.trace) || !opts.timelinePath.empty();
+    if (!opts.timelinePath.empty())
+        cfg.profileEventCapacity =
+            std::max<size_t>(cfg.profileEventCapacity, size_t{1} << 20);
+    cfg.sampleIntervalCycles = opts.sampleInterval;
 
     uhm::Machine machine(*image, cfg);
     uhm::RunResult r = machine.run(opts.input);
@@ -486,12 +535,20 @@ try {
                          r.breakdown.translate2));
         std::fputs(r.stats.toString().c_str(), stderr);
     }
+    if (r.eventsDropped > 0) {
+        std::fprintf(stderr,
+                     "# warning: event ring overflowed — dropped %llu "
+                     "of %llu events (raise the ring capacity); the "
+                     "trace and timeline cover only the run's tail\n",
+                     static_cast<unsigned long long>(r.eventsDropped),
+                     static_cast<unsigned long long>(r.eventsSeen));
+    }
+    uhm::ProfileMeta meta;
+    meta.program = opts.program;
+    meta.machine = uhm::machineKindName(opts.kind);
+    meta.encoding = uhm::encodingName(opts.scheme);
+    meta.imageBits = image->bitSize();
     if (opts.profile) {
-        uhm::ProfileMeta meta;
-        meta.program = opts.program;
-        meta.machine = uhm::machineKindName(opts.kind);
-        meta.encoding = uhm::encodingName(opts.scheme);
-        meta.imageBits = image->bitSize();
         std::string doc = uhm::profileJsonl(meta, r);
         if (opts.profilePath == "-") {
             std::fputs(doc.c_str(), stderr);
@@ -502,6 +559,16 @@ try {
                            opts.profilePath.c_str());
             out << doc;
         }
+    }
+    if (!opts.timelinePath.empty()) {
+        std::string doc =
+            uhm::obs::toChromeTrace(uhm::buildProfile(meta, r));
+        std::ofstream out(opts.timelinePath);
+        if (!out)
+            uhm::fatal("cannot open '%s'", opts.timelinePath.c_str());
+        out << doc;
+        std::fprintf(stderr, "# timeline: %zu events -> %s\n",
+                     r.events.size(), opts.timelinePath.c_str());
     }
     if (opts.trace) {
         size_t shown = 0;

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate and summarize a uhm_cli --timeline Chrome-trace file.
+
+The timeline is the Chrome trace-event "JSON Array Format": one object
+with a ``traceEvents`` array of metadata ("ph":"M"), complete-span
+("ph":"X") and counter ("ph":"C") events, loadable in Perfetto or
+chrome://tracing. uhm_cli writes it from the machine's typed event ring
+(src/obs/timeline.hh documents the span-reconstruction semantics).
+
+Default output is a human summary: per-track span counts and cycle
+totals, the top-N hottest DIR addresses (the addresses whose dtb_hit /
+dtb_miss spans carry the most cycles) and a set-conflict proxy (the
+most-evicted DIR addresses). With ``--check`` the script only validates
+the schema and exits non-zero on any violation — the CI gate.
+
+Usage: trace_report.py TIMELINE.json [--check] [--top=10]
+Exit status: 0 on a valid timeline, 1 on schema violations, 2 on
+malformed input.
+"""
+
+import collections
+import json
+import sys
+
+# Every span name the exporter can emit: the cycle buckets (overview
+# track) plus obs::eventKindName() of each EventKind. A name outside
+# this set means the exporter and this checker have drifted apart.
+BUCKET_NAMES = {
+    "fetch", "decode", "stage", "dispatch", "semantic", "translate",
+    "translate2",
+}
+EVENT_NAMES = {
+    "fetch", "decode", "dtb_hit", "dtb_miss", "dtb_evict", "dtb_reject",
+    "trap", "translate", "promote", "trace_record", "trace_abort",
+    "translate2", "trace_enter", "trace_exit", "trace_evict",
+    "trace_invalidate", "sample",
+}
+TRACK_NAMES = {
+    "cycle buckets", "ifu", "iu1", "iu2", "translator", "tier",
+    "sampler",
+}
+PHASES = {"M", "X", "C"}
+
+
+def fail(errors):
+    for e in errors[:20]:
+        print("error: " + e, file=sys.stderr)
+    if len(errors) > 20:
+        print("error: ... and %d more" % (len(errors) - 20),
+              file=sys.stderr)
+    return 1
+
+
+def validate(doc):
+    """Return a list of schema-violation messages (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+
+    thread_names = {}
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            errors.append(where + ": not an object")
+            continue
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in ev:
+                errors.append("%s: missing '%s'" % (where, field))
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            errors.append("%s: unknown ph %r" % (where, ph))
+            continue
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                name = ev.get("args", {}).get("name")
+                if name not in TRACK_NAMES:
+                    errors.append("%s: unknown track %r" % (where, name))
+                thread_names[ev.get("tid")] = name
+        elif ph == "X":
+            if "dur" not in ev:
+                errors.append(where + ": X event missing 'dur'")
+            name = ev.get("name")
+            ok = name in EVENT_NAMES or \
+                (ev.get("tid") == 0 and name in BUCKET_NAMES)
+            if not ok:
+                errors.append("%s: unknown span name %r" % (where, name))
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, int) or ts < 0:
+                errors.append(where + ": ts must be a non-negative int")
+            if dur is not None and (not isinstance(dur, int) or dur < 0):
+                errors.append(where + ": dur must be a non-negative int")
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                errors.append(where + ": C event missing args.value")
+
+    # Every span's tid must have a thread_name metadata record.
+    for i, ev in enumerate(events):
+        if isinstance(ev, dict) and ev.get("ph") == "X" and \
+                ev.get("tid") not in thread_names:
+            errors.append("traceEvents[%d]: tid %r has no thread_name"
+                          % (i, ev.get("tid")))
+
+    other = doc.get("otherData", {})
+    for field in ("events_seen", "events_dropped"):
+        if field not in other:
+            errors.append("otherData missing '%s'" % field)
+    return errors
+
+
+def summarize(doc, top_n):
+    events = doc["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    thread_names = {
+        e["tid"]: e["args"]["name"] for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+
+    other = doc.get("otherData", {})
+    print("timeline: %d events (%s dropped), %d spans" %
+          (len(events), other.get("events_dropped", "?"), len(spans)))
+
+    by_track = collections.defaultdict(lambda: [0, 0])
+    for s in spans:
+        slot = by_track[thread_names.get(s["tid"], "?")]
+        slot[0] += 1
+        slot[1] += s.get("dur", 0)
+    print("\nper-track spans:")
+    for track, (count, cycles) in sorted(by_track.items()):
+        print("  %-14s %8d spans  %12d cycles" % (track, count, cycles))
+
+    # Hot addresses: cycles attributed to dispatch-path spans, keyed by
+    # the DIR address the closing event carried.
+    hot = collections.Counter()
+    evictions = collections.Counter()
+    misses = collections.Counter()
+    for s in spans:
+        addr = s.get("args", {}).get("addr")
+        if addr is None:
+            continue
+        if s["name"] in ("dtb_hit", "dtb_miss"):
+            hot[addr] += s.get("dur", 0)
+        if s["name"] == "dtb_miss":
+            misses[addr] += 1
+        # An eviction span's addr is the victim: a high count means the
+        # victim's set keeps thrashing (the set-conflict proxy).
+        if s["name"] in ("dtb_evict", "trace_evict"):
+            evictions[addr] += 1
+
+    if hot:
+        print("\ntop-%d hot DIR addresses (dispatch cycles):" % top_n)
+        for addr, cycles in hot.most_common(top_n):
+            print("  dir@%-8d %12d cycles  %4d misses" %
+                  (addr, cycles, misses.get(addr, 0)))
+    if evictions:
+        print("\ntop-%d evicted DIR addresses (set-conflict proxy):"
+              % top_n)
+        for addr, count in evictions.most_common(top_n):
+            print("  dir@%-8d evicted %d times" % (addr, count))
+
+
+def main(argv):
+    path = None
+    check = False
+    top_n = 10
+    for arg in argv[1:]:
+        if arg == "--check":
+            check = True
+        elif arg.startswith("--top="):
+            top_n = int(arg[len("--top="):])
+        elif arg.startswith("-"):
+            print("usage: trace_report.py TIMELINE.json [--check] "
+                  "[--top=N]", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print("usage: trace_report.py TIMELINE.json [--check] [--top=N]",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 2
+
+    errors = validate(doc)
+    if errors:
+        return fail(errors)
+    if check:
+        n_spans = sum(1 for e in doc["traceEvents"]
+                      if e.get("ph") == "X")
+        print("ok: %d events, %d spans, schema valid" %
+              (len(doc["traceEvents"]), n_spans))
+        return 0
+    summarize(doc, top_n)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

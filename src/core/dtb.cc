@@ -101,8 +101,20 @@ Dtb::clearTraceAnchor(uint64_t dir_addr)
         e->meta.anchorsTrace = false;
 }
 
+std::vector<uint32_t>
+Dtb::setOccupancy() const
+{
+    std::vector<uint32_t> occupancy(numSets_, 0);
+    for (uint64_t i = 0; i < numEntries_; ++i) {
+        if (entries_[i].meta.valid)
+            ++occupancy[i / assoc_];
+    }
+    return occupancy;
+}
+
 Dtb::InsertOutcome
-Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
+Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code,
+            uint64_t now)
 {
     unsigned units_needed = static_cast<unsigned>(
         (code.size() + config_.unitShortInstrs - 1) /
@@ -125,10 +137,10 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     // Prefer an invalid way; otherwise the replacement array's victim.
     unsigned way = assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
-        if (!set_entries[w].meta.valid) {
+        if (set_entries[w].meta.valid)
+            ++out.setOccupancy;
+        else if (way == assoc_)
             way = w;
-            break;
-        }
     }
     Entry *victim = nullptr;
     if (way == assoc_) {
@@ -152,6 +164,9 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     if (victim) {
         out.evicted = victim->meta.valid;
         out.victimTag = victim->meta.tag;
+        out.victimUses = victim->meta.useCount;
+        if (now > victim->meta.insertCycle)
+            out.victimResidency = now - victim->meta.insertCycle;
         evict(*victim);
         ++evictions_;
     }
@@ -163,6 +178,7 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code)
     e.meta.tag = dir_addr;
     e.meta.valid = true;
     e.meta.units = units_needed;
+    e.meta.insertCycle = now;
     e.code = std::move(code);
     repl_[set].fill(way);
     ++inserts_;

@@ -99,6 +99,13 @@ class Dtb
         uint64_t victimTag = 0;
         /** Buffer units the new translation needs. */
         unsigned unitsNeeded = 1;
+        /** Cycles the victim was resident: now - insertCycle
+         *  (when evicted and both stamps are meaningful). */
+        uint64_t victimResidency = 0;
+        /** Hits the victim collected while resident (when evicted). */
+        uint32_t victimUses = 0;
+        /** Valid ways in the target set before this insert. */
+        unsigned setOccupancy = 0;
     };
 
     /**
@@ -110,8 +117,14 @@ class Dtb
      * the blocks the victim would release) cannot supply the needed
      * increments, the translation is rejected and the resident —
      * possibly hot — victim survives untouched.
+     *
+     * @p now is the caller's cycle count, stamped into the new entry's
+     * EntryMeta::insertCycle so evictions can report residency
+     * lifetimes. Callers without a cycle source pass 0 (the default);
+     * residency figures are then 0 rather than wrong.
      */
-    InsertOutcome insert(uint64_t dir_addr, std::vector<ShortInstr> code);
+    InsertOutcome insert(uint64_t dir_addr, std::vector<ShortInstr> code,
+                         uint64_t now = 0);
 
     /** Invalidate every entry (e.g. program image replaced). */
     void invalidateAll();
@@ -151,6 +164,13 @@ class Dtb
 
     /** Ways per set. */
     unsigned assoc() const { return assoc_; }
+
+    /**
+     * Valid entries per set, numSets() elements in set order. A fresh
+     * snapshot per call — meant for the interval sampler and tests, not
+     * for the dispatch path.
+     */
+    std::vector<uint32_t> setOccupancy() const;
 
     /** Overflow blocks currently free. */
     uint64_t overflowFree() const { return overflowFree_; }

@@ -49,6 +49,13 @@ struct EntryMeta
      * whose flag is set.
      */
     bool anchorsTrace = false;
+    /**
+     * Machine cycle count when the entry was installed. Observability
+     * only: eviction subtracts it from the current count to charge a
+     * residency-lifetime histogram. Paths that insert without a cycle
+     * source leave it 0 (their residency is then not meaningful).
+     */
+    uint64_t insertCycle = 0;
 
     /** Return to the empty state (eviction). */
     void
@@ -60,6 +67,7 @@ struct EntryMeta
         useCount = 0;
         backedgeCount = 0;
         anchorsTrace = false;
+        insertCycle = 0;
     }
 };
 

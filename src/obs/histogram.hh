@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Log2-bucketed histogram metrics.
+ *
+ * Counters say how often; histograms say how *big*. A Histogram
+ * accumulates uint64 observations into power-of-two buckets (bucket i
+ * holds values whose bit width is i, so bucket 0 is exactly {0},
+ * bucket 1 is {1}, bucket 2 is {2,3}, bucket 3 is {4..7}, ...), plus
+ * exact count/sum/min/max. Recording is a handful of integer ops — no
+ * floating point, no allocation — so the metric can stay enabled on
+ * the translate/evict/compile paths unconditionally, like a Counter.
+ *
+ * The read side is a HistogramSnapshot: a plain value type with a
+ * sparse bucket list, mergeable by pure addition (plus min/max folds),
+ * which is what keeps parallel-sweep aggregation byte-identical for
+ * any job count (see obs/merge.hh).
+ */
+
+#ifndef UHM_OBS_HISTOGRAM_HH
+#define UHM_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace uhm
+{
+class JsonWriter;
+}
+
+namespace uhm::obs
+{
+
+/** Bucket index of @p value: its bit width (0 for 0). */
+constexpr unsigned
+histogramBucketOf(uint64_t value)
+{
+    unsigned width = 0;
+    while (value != 0) {
+        ++width;
+        value >>= 1;
+    }
+    return width;
+}
+
+/** Smallest value bucket @p bucket holds (0, 1, 2, 4, 8, ...). */
+constexpr uint64_t
+histogramBucketLow(unsigned bucket)
+{
+    return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+}
+
+/** Largest value bucket @p bucket holds (0, 1, 3, 7, 15, ...). */
+constexpr uint64_t
+histogramBucketHigh(unsigned bucket)
+{
+    return bucket == 0 ? 0 :
+        bucket >= 64 ? ~uint64_t{0} : (uint64_t{1} << bucket) - 1;
+}
+
+/**
+ * End-of-run value of one histogram: exact count/sum/min/max plus the
+ * sparse (bucket, count) list, bucket-ordered. Plain data — merging
+ * two snapshots is per-bucket addition, so the result depends only on
+ * the inputs, never on scheduling.
+ */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /** Smallest observation (meaningful when count > 0). */
+    uint64_t min = 0;
+    /** Largest observation (meaningful when count > 0). */
+    uint64_t max = 0;
+    /** (bucket index, observations) for every non-empty bucket. */
+    std::vector<std::pair<unsigned, uint64_t>> buckets;
+
+    bool operator==(const HistogramSnapshot &) const = default;
+
+    /** Fold @p other in: counts add, min/max widen. */
+    void merge(const HistogramSnapshot &other);
+
+    /**
+     * Emit as one JSON object:
+     * {"count":..,"sum":..,"min":..,"max":..,"buckets":[[i,n],...]}.
+     */
+    void writeJson(JsonWriter &jw) const;
+};
+
+/** An owned log2 histogram; register it to publish it. */
+class Histogram
+{
+  public:
+    /** Number of buckets (bit widths 0..64). */
+    static constexpr unsigned numBuckets = 65;
+
+    /** Record one observation. */
+    void
+    record(uint64_t value)
+    {
+        ++buckets_[histogramBucketOf(value)];
+        ++count_;
+        sum_ += value;
+        if (count_ == 1) {
+            min_ = max_ = value;
+        } else {
+            if (value < min_)
+                min_ = value;
+            if (value > max_)
+                max_ = value;
+        }
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return min_; }
+    uint64_t max() const { return max_; }
+
+    /** Observations in bucket @p bucket. */
+    uint64_t
+    bucketCount(unsigned bucket) const
+    {
+        return bucket < numBuckets ? buckets_[bucket] : 0;
+    }
+
+    /** Mean observation; 0.0 when empty. */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 :
+            static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+
+    /** Materialize the sparse, mergeable value. */
+    HistogramSnapshot snapshot() const;
+
+    /** Forget every observation. */
+    void reset();
+
+  private:
+    std::array<uint64_t, numBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace uhm::obs
+
+#endif // UHM_OBS_HISTOGRAM_HH

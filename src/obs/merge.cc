@@ -45,6 +45,41 @@ MergedCounters::writeJson(JsonWriter &jw) const
     jw.endObject();
 }
 
+void
+mergeHistogramSnapshots(
+    std::map<std::string, HistogramSnapshot> &into,
+    const std::map<std::string, HistogramSnapshot> &from)
+{
+    for (const auto &kv : from)
+        into[kv.first].merge(kv.second);
+}
+
+void
+MergedHistograms::accumulate(
+    const std::map<std::string, HistogramSnapshot> &snapshot)
+{
+    mergeHistogramSnapshots(values_, snapshot);
+    ++shards_;
+}
+
+HistogramSnapshot
+MergedHistograms::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? HistogramSnapshot{} : it->second;
+}
+
+void
+MergedHistograms::writeJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    for (const auto &kv : values_) {
+        jw.key(kv.first);
+        kv.second.writeJson(jw);
+    }
+    jw.endObject();
+}
+
 std::vector<Event>
 mergeEventStreams(const std::vector<std::vector<Event>> &shards)
 {

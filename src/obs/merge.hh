@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "obs/trace.hh"
 
 namespace uhm
@@ -79,6 +80,45 @@ class MergedCounters
 
   private:
     std::map<std::string, uint64_t> values_;
+    uint64_t shards_ = 0;
+};
+
+/** Fold every histogram of @p from into @p into (absent names appear). */
+void mergeHistogramSnapshots(
+    std::map<std::string, HistogramSnapshot> &into,
+    const std::map<std::string, HistogramSnapshot> &from);
+
+/**
+ * Accumulator for per-point histogram snapshots, the histogram twin of
+ * MergedCounters. Histogram merging is per-bucket addition plus
+ * min/max folds — commutative and associative — but feed snapshots in
+ * sweep-point order anyway so every aggregate in a report obeys the
+ * same rule.
+ */
+class MergedHistograms
+{
+  public:
+    /** Fold one end-of-run histogram snapshot map into the aggregate. */
+    void accumulate(
+        const std::map<std::string, HistogramSnapshot> &snapshot);
+
+    /** Snapshot maps folded in so far. */
+    uint64_t shards() const { return shards_; }
+
+    /** The merged snapshot of @p name (empty if never seen). */
+    HistogramSnapshot get(const std::string &name) const;
+
+    /** The merged snapshots, name-ordered. */
+    const std::map<std::string, HistogramSnapshot> &values() const
+    {
+        return values_;
+    }
+
+    /** Emit {"name": {histogram object}, ...}. */
+    void writeJson(JsonWriter &jw) const;
+
+  private:
+    std::map<std::string, HistogramSnapshot> values_;
     uint64_t shards_ = 0;
 };
 

@@ -61,6 +61,38 @@ Registry::total(const std::string &prefix) const
 }
 
 void
+Registry::addHistogram(const std::string &name,
+                       const Histogram &histogram)
+{
+    uhm_assert(!name.empty(), "histogram registered with empty name");
+    auto [it, inserted] = histograms_.emplace(name, &histogram);
+    (void)it;
+    uhm_assert(inserted, "duplicate histogram '%s'", name.c_str());
+}
+
+bool
+Registry::containsHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
+}
+
+const Histogram *
+Registry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
+}
+
+std::map<std::string, HistogramSnapshot>
+Registry::histogramSnapshot() const
+{
+    std::map<std::string, HistogramSnapshot> values;
+    for (const auto &kv : histograms_)
+        values.emplace(kv.first, kv.second->snapshot());
+    return values;
+}
+
+void
 Registry::writeJson(JsonWriter &jw) const
 {
     jw.beginObject();

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "obs/counter.hh"
+#include "obs/histogram.hh"
 
 namespace uhm
 {
@@ -64,8 +65,32 @@ class Registry
     /** Emit one flat JSON object: {"dtb.hits": 12, ...}. */
     void writeJson(JsonWriter &jw) const;
 
+    // ---- histograms: registered alongside counters, same rules ------
+
+    /**
+     * Publish @p histogram under @p name (same lifetime and
+     * uniqueness rules as add()). Counter and histogram namespaces
+     * are separate sections of the report, but share the dotted
+     * naming scheme.
+     */
+    void addHistogram(const std::string &name,
+                      const Histogram &histogram);
+
+    /** True if a histogram is registered under @p name. */
+    bool containsHistogram(const std::string &name) const;
+
+    /** The registered histogram, or null. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** Number of registered histograms. */
+    size_t numHistograms() const { return histograms_.size(); }
+
+    /** Materialize every histogram's value, sorted by name. */
+    std::map<std::string, HistogramSnapshot> histogramSnapshot() const;
+
   private:
     std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Histogram *> histograms_;
 };
 
 } // namespace uhm::obs

@@ -45,6 +45,16 @@ writeCounters(JsonWriter &jw, const ProfileData &p)
 }
 
 void
+writeHistograms(JsonWriter &jw, const ProfileData &p)
+{
+    jw.key("type").value("histograms");
+    for (const auto &kv : p.histograms) {
+        jw.key(kv.first);
+        kv.second.writeJson(jw);
+    }
+}
+
+void
 writeRatios(JsonWriter &jw, const ProfileData &p)
 {
     jw.key("type").value("ratios");
@@ -78,8 +88,15 @@ toJsonl(const ProfileData &profile)
     line([&](JsonWriter &jw) { writeMeta(jw, profile); });
     line([&](JsonWriter &jw) { writePhases(jw, profile); });
     line([&](JsonWriter &jw) { writeCounters(jw, profile); });
+    line([&](JsonWriter &jw) { writeHistograms(jw, profile); });
     line([&](JsonWriter &jw) { writeRatios(jw, profile); });
     line([&](JsonWriter &jw) { writeTraceSummary(jw, profile); });
+    for (const OccupancySample &s : profile.samples) {
+        line([&](JsonWriter &jw) {
+            jw.key("type").value("sample");
+            writeSampleFields(jw, s);
+        });
+    }
     out += eventsToJsonl(profile.events);
     return out;
 }
@@ -100,10 +117,18 @@ writeJson(JsonWriter &jw, const ProfileData &profile)
     for (const auto &kv : profile.counters)
         jw.key(kv.first).value(kv.second);
     jw.endObject();
+    jw.key("histograms").beginObject();
+    for (const auto &kv : profile.histograms) {
+        jw.key(kv.first);
+        kv.second.writeJson(jw);
+    }
+    jw.endObject();
     jw.key("ratios").beginObject();
     for (const auto &kv : profile.ratios)
         jw.key(kv.first).value(kv.second);
     jw.endObject();
+    jw.key("samples_taken").value(
+        static_cast<uint64_t>(profile.samples.size()));
     jw.key("events_seen").value(profile.eventsSeen);
     jw.key("events_dropped").value(profile.eventsDropped);
     jw.endObject();
@@ -120,6 +145,25 @@ eventsToJsonl(const std::vector<Event> &events)
         out += '\n';
     }
     return out;
+}
+
+void
+writeSampleFields(JsonWriter &jw, const OccupancySample &sample)
+{
+    jw.key("cycle").value(sample.cycle);
+    jw.key("dir_instrs").value(sample.dirInstrs);
+    jw.key("dtb_hits_delta").value(sample.dtbHitsDelta);
+    jw.key("dtb_misses_delta").value(sample.dtbMissesDelta);
+    jw.key("trace_hits_delta").value(sample.traceHitsDelta);
+    jw.key("trace_misses_delta").value(sample.traceMissesDelta);
+    jw.key("dtb_occupancy").beginArray();
+    for (uint32_t n : sample.dtbSetOccupancy)
+        jw.value(uint64_t{n});
+    jw.endArray();
+    jw.key("trace_occupancy").beginArray();
+    for (uint32_t n : sample.traceSetOccupancy)
+        jw.value(uint64_t{n});
+    jw.endArray();
 }
 
 } // namespace uhm::obs

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "obs/trace.hh"
 
 namespace uhm
@@ -32,6 +33,33 @@ class JsonWriter;
 namespace uhm::obs
 {
 
+/**
+ * One interval-sampler observation: translation-buffer state captured
+ * when the machine's cycle counter crossed a sampling boundary
+ * (MachineConfig::sampleIntervalCycles). The per-set occupancy vectors
+ * are heatmap columns — one sample per column, one set per row — and
+ * the hit/miss deltas are the traffic since the previous sample.
+ */
+struct OccupancySample
+{
+    /** Cycle count when the sample was taken. */
+    uint64_t cycle = 0;
+    /** DIR instructions retired so far. */
+    uint64_t dirInstrs = 0;
+    /** DTB hits/misses since the previous sample. */
+    uint64_t dtbHitsDelta = 0;
+    uint64_t dtbMissesDelta = 0;
+    /** Trace-cache hits/misses since the previous sample (Tiered). */
+    uint64_t traceHitsDelta = 0;
+    uint64_t traceMissesDelta = 0;
+    /** Valid entries per DTB set (empty when no DTB). */
+    std::vector<uint32_t> dtbSetOccupancy;
+    /** Valid entries per trace-cache set (empty when no tier). */
+    std::vector<uint32_t> traceSetOccupancy;
+
+    bool operator==(const OccupancySample &) const = default;
+};
+
 /** Everything one profile report contains, in emission order. */
 struct ProfileData
 {
@@ -41,8 +69,12 @@ struct ProfileData
     std::vector<std::pair<std::string, uint64_t>> phases;
     /** Hierarchical counter snapshot ("dtb.hits" -> 12). */
     std::map<std::string, uint64_t> counters;
+    /** Histogram snapshots ("translate.latency_cycles" -> ...). */
+    std::map<std::string, HistogramSnapshot> histograms;
     /** Derived ratios (hit ratios, amplification), in display order. */
     std::vector<std::pair<std::string, double>> ratios;
+    /** Interval-sampler time series (empty when sampling was off). */
+    std::vector<OccupancySample> samples;
     /** Retained events (may be empty when tracing was off). */
     std::vector<Event> events;
     /** Events recorded in total, including dropped ones. */
@@ -65,6 +97,13 @@ void writeJson(JsonWriter &jw, const ProfileData &profile);
 
 /** Render @p events alone as JSONL event lines. */
 std::string eventsToJsonl(const std::vector<Event> &events);
+
+/**
+ * Emit one sample as a JSON object (sans the "type" discriminator —
+ * the caller sets that, so uhm_cli profiles and sweep reports can
+ * share the field layout under different line types).
+ */
+void writeSampleFields(JsonWriter &jw, const OccupancySample &sample);
 
 } // namespace uhm::obs
 

@@ -1,0 +1,217 @@
+#include "obs/timeline.hh"
+
+#include "support/json.hh"
+
+namespace uhm::obs
+{
+
+namespace
+{
+
+/** Chrome pid all tracks live under (one simulated machine). */
+constexpr int tracePid = 1;
+
+/** tid of the cycle-bucket overview track. */
+constexpr int overviewTid = 0;
+
+/** Track names indexed by tid (overview first). */
+constexpr const char *trackNames[] = {
+    "cycle buckets", "ifu", "iu1", "iu2", "translator", "tier",
+    "sampler",
+};
+constexpr int numTracks =
+    static_cast<int>(sizeof(trackNames) / sizeof(trackNames[0]));
+
+/** Common prologue of one trace event object. */
+void
+beginTraceEvent(JsonWriter &jw, const char *name, const char *ph,
+                uint64_t ts, int tid)
+{
+    jw.beginObject();
+    jw.key("name").value(name);
+    jw.key("ph").value(ph);
+    jw.key("ts").value(ts);
+    jw.key("pid").value(tracePid);
+    jw.key("tid").value(tid);
+}
+
+void
+writeMetadataEvents(JsonWriter &jw, const ProfileData &profile)
+{
+    std::string process = "uhm";
+    for (const auto &kv : profile.meta) {
+        if (kv.first == "program" || kv.first == "machine")
+            process += " " + kv.second;
+    }
+    beginTraceEvent(jw, "process_name", "M", 0, overviewTid);
+    jw.key("args").beginObject();
+    jw.key("name").value(process);
+    jw.endObject();
+    jw.endObject();
+
+    for (int tid = 0; tid < numTracks; ++tid) {
+        beginTraceEvent(jw, "thread_name", "M", 0, tid);
+        jw.key("args").beginObject();
+        jw.key("name").value(trackNames[tid]);
+        jw.endObject();
+        jw.endObject();
+    }
+}
+
+/**
+ * The overview track: one span per cycle bucket, laid end to end in
+ * phase order, so the top lane reads as a stacked where-did-the-run-go
+ * bar. The "total" entry is the sum of the others and is skipped.
+ */
+void
+writeBucketSpans(JsonWriter &jw, const ProfileData &profile)
+{
+    uint64_t at = 0;
+    for (const auto &kv : profile.phases) {
+        if (kv.first == "total")
+            continue;
+        beginTraceEvent(jw, kv.first.c_str(), "X", at, overviewTid);
+        jw.key("dur").value(kv.second);
+        jw.key("args").beginObject();
+        jw.key("bucket_cycles").value(kv.second);
+        jw.endObject();
+        jw.endObject();
+        at += kv.second;
+    }
+}
+
+void
+writeSpanEvents(JsonWriter &jw, const std::vector<TimelineSpan> &spans)
+{
+    for (const TimelineSpan &span : spans) {
+        beginTraceEvent(jw, eventKindName(span.kind), "X", span.start,
+                        eventKindTrackId(span.kind));
+        jw.key("cat").value(eventKindTrack(span.kind));
+        jw.key("dur").value(span.duration());
+        jw.key("args").beginObject();
+        jw.key("addr").value(span.addr);
+        jw.key("arg").value(span.arg);
+        jw.endObject();
+        jw.endObject();
+    }
+}
+
+/** One Chrome counter sample: {"name":..,"ph":"C","ts":..,args}. */
+void
+writeCounterSample(JsonWriter &jw, const char *name, uint64_t ts,
+                   uint64_t value)
+{
+    beginTraceEvent(jw, name, "C", ts, overviewTid);
+    jw.key("args").beginObject();
+    jw.key("value").value(value);
+    jw.endObject();
+    jw.endObject();
+}
+
+void
+writeSampleCounters(JsonWriter &jw, const ProfileData &profile)
+{
+    for (const OccupancySample &s : profile.samples) {
+        uint64_t dtb_resident = 0;
+        for (uint32_t n : s.dtbSetOccupancy)
+            dtb_resident += n;
+        writeCounterSample(jw, "dtb_resident_entries", s.cycle,
+                           dtb_resident);
+        writeCounterSample(jw, "dtb_hits_delta", s.cycle,
+                           s.dtbHitsDelta);
+        writeCounterSample(jw, "dtb_misses_delta", s.cycle,
+                           s.dtbMissesDelta);
+        if (!s.traceSetOccupancy.empty()) {
+            uint64_t trace_resident = 0;
+            for (uint32_t n : s.traceSetOccupancy)
+                trace_resident += n;
+            writeCounterSample(jw, "trace_resident_entries", s.cycle,
+                               trace_resident);
+        }
+    }
+}
+
+} // anonymous namespace
+
+const char *
+eventKindTrack(EventKind kind)
+{
+    return trackNames[eventKindTrackId(kind)];
+}
+
+int
+eventKindTrackId(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetch:
+        return 1; // ifu
+      case EventKind::Decode:
+        return 2; // iu1
+      case EventKind::DtbHit:
+      case EventKind::DtbMiss:
+      case EventKind::Promote:
+        return 3; // iu2
+      case EventKind::Trap:
+      case EventKind::Translate:
+      case EventKind::DtbEvict:
+      case EventKind::DtbReject:
+        return 4; // translator
+      case EventKind::TraceRecord:
+      case EventKind::TraceAbort:
+      case EventKind::Translate2:
+      case EventKind::TraceEnter:
+      case EventKind::TraceExit:
+      case EventKind::TraceEvict:
+      case EventKind::TraceInvalidate:
+        return 5; // tier
+      case EventKind::Sample:
+        return 6; // sampler
+    }
+    return overviewTid;
+}
+
+std::vector<TimelineSpan>
+buildTimelineSpans(const std::vector<Event> &events)
+{
+    std::vector<TimelineSpan> spans;
+    spans.reserve(events.size());
+    uint64_t prev = events.empty() ? 0 : events.front().cycle;
+    for (const Event &e : events) {
+        TimelineSpan span;
+        // A merged or corrupted stream could run backwards; clamp so
+        // durations never underflow.
+        span.start = prev <= e.cycle ? prev : e.cycle;
+        span.end = e.cycle;
+        span.addr = e.addr;
+        span.arg = e.arg;
+        span.kind = e.kind;
+        spans.push_back(span);
+        prev = e.cycle;
+    }
+    return spans;
+}
+
+std::string
+toChromeTrace(const ProfileData &profile)
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("traceEvents").beginArray();
+    writeMetadataEvents(jw, profile);
+    writeBucketSpans(jw, profile);
+    writeSpanEvents(jw, buildTimelineSpans(profile.events));
+    writeSampleCounters(jw, profile);
+    jw.endArray();
+    jw.key("displayTimeUnit").value("ms");
+    jw.key("otherData").beginObject();
+    for (const auto &kv : profile.meta)
+        jw.key(kv.first).value(kv.second);
+    jw.key("events_seen").value(profile.eventsSeen);
+    jw.key("events_dropped").value(profile.eventsDropped);
+    jw.key("complete").value(profile.eventsDropped == 0);
+    jw.endObject();
+    jw.endObject();
+    return jw.str();
+}
+
+} // namespace uhm::obs

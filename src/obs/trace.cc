@@ -25,6 +25,7 @@ eventKindName(EventKind kind)
       case EventKind::TraceExit:       return "trace_exit";
       case EventKind::TraceEvict:      return "trace_evict";
       case EventKind::TraceInvalidate: return "trace_invalidate";
+      case EventKind::Sample:          return "sample";
     }
     return "?";
 }

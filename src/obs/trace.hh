@@ -40,6 +40,29 @@ enum class EventKind : uint8_t
     TraceExit,       ///< trace left; addr = exit pc, arg = iterations run
     TraceEvict,      ///< trace displaced from the trace cache; addr = head
     TraceInvalidate, ///< anchoring DTB entry evicted; addr = head
+    Sample,          ///< occupancy sample taken; addr = sample index,
+                     ///< arg = resident DTB entries
+};
+
+/** Number of distinct EventKind values. */
+inline constexpr size_t numEventKinds =
+    static_cast<size_t>(EventKind::Sample) + 1;
+
+/**
+ * Every EventKind, in declaration order. The timeline exporter's
+ * kind->track mapping and the exhaustiveness test iterate this; a new
+ * kind that is not appended here fails ObsTracer.EventKindNames*.
+ */
+inline constexpr EventKind allEventKinds[numEventKinds] = {
+    EventKind::Fetch,       EventKind::Decode,
+    EventKind::DtbHit,      EventKind::DtbMiss,
+    EventKind::DtbEvict,    EventKind::DtbReject,
+    EventKind::Trap,        EventKind::Translate,
+    EventKind::Promote,     EventKind::TraceRecord,
+    EventKind::TraceAbort,  EventKind::Translate2,
+    EventKind::TraceEnter,  EventKind::TraceExit,
+    EventKind::TraceEvict,  EventKind::TraceInvalidate,
+    EventKind::Sample,
 };
 
 /** Stable lowercase name of @p kind ("dtb_miss"). */

@@ -209,10 +209,11 @@ TierEngine::compileAndInstall(bool loops, uint64_t exit_addr)
 
 TierEngine::InstallResult
 TierEngine::installTranslation(uint64_t dir_addr,
-                               std::vector<ShortInstr> code)
+                               std::vector<ShortInstr> code,
+                               uint64_t now)
 {
     InstallResult r;
-    r.dtb = dtb_->insert(dir_addr, std::move(code));
+    r.dtb = dtb_->insert(dir_addr, std::move(code), now);
     if (r.dtb.evicted)
         r.invalidatedTrace = cache_.invalidate(r.dtb.victimTag);
     return r;

@@ -137,10 +137,13 @@ class TierEngine
      * The only DTB-insert path in Tiered mode: insert @p code for
      * @p dir_addr and, when the insert evicts a trace-anchoring entry,
      * invalidate that trace — the correct-by-construction coupling of
-     * the two caches.
+     * the two caches. @p now (the machine's cycle count) is stamped
+     * onto the new DTB entry for residency accounting; 0 when the
+     * caller has no cycle source.
      */
     InstallResult installTranslation(uint64_t dir_addr,
-                                     std::vector<ShortInstr> code);
+                                     std::vector<ShortInstr> code,
+                                     uint64_t now = 0);
 
     /**
      * The resident trace anchored at @p head, counting a trace-cache

@@ -80,6 +80,17 @@ TraceCache::find(uint64_t head) const
     return e ? &e->trace : nullptr;
 }
 
+std::vector<uint32_t>
+TraceCache::setOccupancy() const
+{
+    std::vector<uint32_t> occupancy(numSets_, 0);
+    for (uint64_t i = 0; i < numEntries_; ++i) {
+        if (entries_[i].meta.valid)
+            ++occupancy[i / assoc_];
+    }
+    return occupancy;
+}
+
 TraceCache::InsertOutcome
 TraceCache::insert(Trace trace)
 {

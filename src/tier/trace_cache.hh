@@ -113,6 +113,12 @@ class TraceCache
     uint64_t unitsUsed() const { return unitsUsed_; }
 
     /**
+     * Valid traces per set, numSets() elements in set order. A fresh
+     * snapshot per call — for the interval sampler and tests only.
+     */
+    std::vector<uint32_t> setOccupancy() const;
+
+    /**
      * Publish counters into @p registry under "<prefix>.hits",
      * "<prefix>.misses", "<prefix>.inserts", "<prefix>.evictions",
      * "<prefix>.rejects", "<prefix>.invalidations".

@@ -63,14 +63,21 @@ Machine::Machine(const EncodedDir &image, const MachineConfig &config)
     registry_.add("machine.traps", traps_);
     registry_.add("translate.short_emitted", translateShortEmitted_);
     mem_.registerCounters(registry_, "mem");
-    if (dtb_)
+    if (dtb_) {
         dtb_->registerCounters(registry_, "dtb");
+        registry_.addHistogram("translate.latency_cycles",
+                               translateLatency_);
+        registry_.addHistogram("dtb.residency_cycles", dtbResidency_);
+        registry_.addHistogram("dtb.evict_set_occupancy",
+                               dtbEvictOccupancy_);
+    }
     if (dtbL1_)
         dtbL1_->registerCounters(registry_, "dtbl1");
     if (icache_)
         icache_->registerCounters(registry_, "icache");
     if (tier_) {
         tier_->registerCounters(registry_, "tier");
+        registry_.addHistogram("tier.trace_len_dir", tierTraceLen_);
         registry_.add("tier.trace_dir_instrs", traceDirInstrs_);
         registry_.add("tier.trace_short_instrs", traceShortInstrs_);
         registry_.add("tier.trace_iterations", traceIterations_);
@@ -290,6 +297,7 @@ Machine::runConventionalOrCached()
 {
     bool cached = config_.kind == MachineKind::Cached;
     while (!halted_) {
+        maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
                   static_cast<unsigned long long>(config_.maxDirInstrs));
@@ -432,6 +440,7 @@ Machine::runDtb()
 {
     bool two_level = config_.kind == MachineKind::Dtb2;
     while (!halted_) {
+        maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
                   static_cast<unsigned long long>(config_.maxDirInstrs));
@@ -482,6 +491,7 @@ Machine::runDtb()
         } else {
             // Figure 4: trap through DTRPOINT to the dynamic translator.
             emitEvent(obs::EventKind::DtbMiss, pc_);
+            uint64_t miss_start = breakdown_.total();
             breakdown_.dispatch += config_.trapCycles;
             ++traps_;
             emitEvent(obs::EventKind::Trap, pc_, config_.trapCycles);
@@ -503,10 +513,15 @@ Machine::runDtb()
             translateShortEmitted_ += tr.code.size();
             emitEvent(obs::EventKind::Translate, pc_, tr.code.size());
 
-            Dtb::InsertOutcome ins = dtb_->insert(pc_, tr.code);
-            if (ins.evicted)
+            Dtb::InsertOutcome ins =
+                dtb_->insert(pc_, tr.code, breakdown_.total());
+            translateLatency_.record(breakdown_.total() - miss_start);
+            if (ins.evicted) {
+                dtbResidency_.record(ins.victimResidency);
+                dtbEvictOccupancy_.record(ins.setOccupancy);
                 emitEvent(obs::EventKind::DtbEvict, ins.victimTag,
                           ins.unitsNeeded);
+            }
             if (!ins.retained)
                 emitEvent(obs::EventKind::DtbReject, pc_,
                           ins.unitsNeeded);
@@ -536,6 +551,7 @@ void
 Machine::runTiered()
 {
     while (!halted_) {
+        maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
                   static_cast<unsigned long long>(config_.maxDirInstrs));
@@ -550,6 +566,7 @@ Machine::runTiered()
                 breakdown_.translate2 += ro.compile.compiledShorts *
                     (config_.tier.gen2CyclesPerInstr +
                      config_.timing.tauD);
+                tierTraceLen_.record(ro.compile.steps);
                 emitEvent(obs::EventKind::Translate2, ro.compile.head,
                           ro.compile.compiledShorts);
                 if (ro.compile.evictedTrace)
@@ -608,6 +625,7 @@ Machine::runTiered()
             // tier engine so an eviction invalidates any trace the
             // victim anchored.
             emitEvent(obs::EventKind::DtbMiss, pc_);
+            uint64_t miss_start = breakdown_.total();
             breakdown_.dispatch += config_.trapCycles;
             ++traps_;
             emitEvent(obs::EventKind::Trap, pc_, config_.trapCycles);
@@ -626,10 +644,15 @@ Machine::runTiered()
             emitEvent(obs::EventKind::Translate, pc_, tr.code.size());
 
             tier::TierEngine::InstallResult ins =
-                tier_->installTranslation(pc_, tr.code);
-            if (ins.dtb.evicted)
+                tier_->installTranslation(pc_, tr.code,
+                                          breakdown_.total());
+            translateLatency_.record(breakdown_.total() - miss_start);
+            if (ins.dtb.evicted) {
+                dtbResidency_.record(ins.dtb.victimResidency);
+                dtbEvictOccupancy_.record(ins.dtb.setOccupancy);
                 emitEvent(obs::EventKind::DtbEvict, ins.dtb.victimTag,
                           ins.dtb.unitsNeeded);
+            }
             if (ins.invalidatedTrace)
                 emitEvent(obs::EventKind::TraceInvalidate,
                           ins.dtb.victimTag);
@@ -650,6 +673,39 @@ Machine::runTiered()
         else
             pc_ = next;
     }
+}
+
+void
+Machine::takeSample()
+{
+    uint64_t now = breakdown_.total();
+    obs::OccupancySample s;
+    s.cycle = now;
+    s.dirInstrs = dirInstrs_.value();
+    if (dtb_) {
+        s.dtbHitsDelta = dtb_->hits() - lastDtbHits_;
+        s.dtbMissesDelta = dtb_->misses() - lastDtbMisses_;
+        lastDtbHits_ = dtb_->hits();
+        lastDtbMisses_ = dtb_->misses();
+        s.dtbSetOccupancy = dtb_->setOccupancy();
+    }
+    uint64_t resident = 0;
+    for (uint32_t n : s.dtbSetOccupancy)
+        resident += n;
+    if (tier_) {
+        const tier::TraceCache &cache = tier_->cache();
+        s.traceHitsDelta = cache.hits() - lastTraceHits_;
+        s.traceMissesDelta = cache.misses() - lastTraceMisses_;
+        lastTraceHits_ = cache.hits();
+        lastTraceMisses_ = cache.misses();
+        s.traceSetOccupancy = cache.setOccupancy();
+    }
+    emitEvent(obs::EventKind::Sample, samples_.size(), resident);
+    samples_.push_back(std::move(s));
+    // Advance past the *current* total, not by one interval: a long
+    // instruction that crosses several boundaries yields one sample,
+    // not a burst of identical ones.
+    nextSampleAt_ = (now / sampleEvery_ + 1) * sampleEvery_;
 }
 
 RunResult
@@ -681,6 +737,17 @@ Machine::run(const std::vector<int64_t> &input)
     traceEnters_.reset();
     traceExits_.reset();
     prevPc_ = 0;
+    translateLatency_.reset();
+    dtbResidency_.reset();
+    dtbEvictOccupancy_.reset();
+    tierTraceLen_.reset();
+    sampleEvery_ = config_.sampleIntervalCycles;
+    nextSampleAt_ = sampleEvery_;
+    lastDtbHits_ = 0;
+    lastDtbMisses_ = 0;
+    lastTraceHits_ = 0;
+    lastTraceMisses_ = 0;
+    samples_.clear();
     if (config_.profileEvents)
         tracer_.enable(config_.profileEventCapacity);
     else
@@ -736,6 +803,8 @@ Machine::run(const std::vector<int64_t> &input)
     result.stats.merge(mem_.stats());
     result.trace = std::move(trace_);
     result.counters = registry_.snapshot();
+    result.histograms = registry_.histogramSnapshot();
+    result.samples = std::move(samples_);
     result.events = tracer_.events();
     result.eventsSeen = tracer_.seen();
     result.eventsDropped = tracer_.dropped();

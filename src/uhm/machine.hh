@@ -46,7 +46,9 @@
 #include "mem/cache.hh"
 #include "mem/memory.hh"
 #include "obs/counter.hh"
+#include "obs/histogram.hh"
 #include "obs/registry.hh"
+#include "obs/report.hh"
 #include "obs/trace.hh"
 #include "psder/layout.hh"
 #include "psder/routines.hh"
@@ -124,6 +126,14 @@ struct MachineConfig
     /** Ring capacity (events) for the typed trace. */
     size_t profileEventCapacity = obs::Tracer::defaultCapacity;
     /**
+     * Interval sampler: every this many machine cycles, snapshot the
+     * DTB (and trace cache) per-set occupancy and the hit/miss deltas
+     * since the previous sample into RunResult::samples. 0 (the
+     * default) disables sampling; the run loop then pays exactly one
+     * predictable branch per DIR instruction.
+     */
+    uint64_t sampleIntervalCycles = 0;
+    /**
      * Record the DIR-address reference trace of the run (one entry per
      * interpreted instruction) for trace-driven DTB studies
      * (core/trace_sim.hh). Off by default: long runs produce long
@@ -184,6 +194,18 @@ struct RunResult
     uint64_t eventsSeen = 0;
     /** Events lost to ring overwrite. */
     uint64_t eventsDropped = 0;
+    /**
+     * Histogram snapshots from the machine's registry — translation
+     * latency, tier-2 trace length, DTB residency lifetime, per-set
+     * occupancy at eviction. Only the histograms the organization
+     * actually registers appear (Conventional/Cached have none).
+     */
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+    /**
+     * Interval-sampler time series (when
+     * MachineConfig::sampleIntervalCycles > 0).
+     */
+    std::vector<obs::OccupancySample> samples;
     /** DIR-address trace (when MachineConfig::captureAddressTrace). */
     std::vector<uint64_t> addressTrace;
     /**
@@ -319,6 +341,25 @@ class Machine
             tracer_.record(kind, breakdown_.total(), addr, arg);
     }
 
+    /**
+     * Interval-sampler gate, called once per run-loop iteration. The
+     * interval check comes first so a run without sampling pays one
+     * predictable branch — the cycle total is only computed (and the
+     * occupancy snapshot only taken, in takeSample) once sampling is
+     * on.
+     */
+    void
+    maybeSample()
+    {
+        if (sampleEvery_ == 0)
+            return;
+        if (breakdown_.total() >= nextSampleAt_)
+            takeSample();
+    }
+
+    /** Snapshot occupancy + deltas into samples_ (sampler on only). */
+    void takeSample();
+
     const EncodedDir *image_;
     MachineConfig config_;
     RoutineLibrary routines_;
@@ -376,6 +417,26 @@ class Machine
     obs::Counter traceEnters_;
     /** Trace exits (guard side-exits and non-looping run-offs). */
     obs::Counter traceExits_;
+    // Histograms (registered alongside the counters; see
+    // docs/INTERNALS.md "Observability"). Only slow paths record into
+    // them — misses, evictions, tier-2 compilations — so the
+    // hit-dominated hot path never touches one.
+    /** "translate.latency_cycles": full Figure 4 miss-flow latency. */
+    obs::Histogram translateLatency_;
+    /** "dtb.residency_cycles": victim lifetime at eviction. */
+    obs::Histogram dtbResidency_;
+    /** "dtb.evict_set_occupancy": valid ways in the set at eviction. */
+    obs::Histogram dtbEvictOccupancy_;
+    /** "tier.trace_len_dir": DIR length of each compiled trace. */
+    obs::Histogram tierTraceLen_;
+    // Interval-sampler state (see MachineConfig::sampleIntervalCycles).
+    uint64_t sampleEvery_ = 0;
+    uint64_t nextSampleAt_ = 0;
+    uint64_t lastDtbHits_ = 0;
+    uint64_t lastDtbMisses_ = 0;
+    uint64_t lastTraceHits_ = 0;
+    uint64_t lastTraceMisses_ = 0;
+    std::vector<obs::OccupancySample> samples_;
     obs::Registry registry_;
     obs::Tracer tracer_;
     std::vector<std::string> trace_;

@@ -27,6 +27,8 @@ buildProfile(const ProfileMeta &meta, const RunResult &result)
     };
 
     p.counters = result.counters;
+    p.histograms = result.histograms;
+    p.samples = result.samples;
 
     auto counter = [&result](const char *name) -> uint64_t {
         auto it = result.counters.find(name);
@@ -57,6 +59,14 @@ buildProfile(const ProfileMeta &meta, const RunResult &result)
     p.ratios.emplace_back("tier.mean_iter_len",
                           result.traceMeanIterLen);
     p.ratios.emplace_back("measured_g2", result.measuredG2);
+    // Trace-ring health: the fraction of recorded events the bounded
+    // ring overwrote. Anything above 0 means the event trace (and any
+    // timeline built from it) is a suffix of the run, not the whole.
+    p.ratios.emplace_back(
+        "events.drop_rate",
+        result.eventsSeen == 0 ? 0.0 :
+        static_cast<double>(result.eventsDropped) /
+        static_cast<double>(result.eventsSeen));
 
     p.events = result.events;
     p.eventsSeen = result.eventsSeen;

@@ -9,12 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
+#include <set>
 
 #include "hlr/compiler.hh"
 #include "obs/counter.hh"
+#include "obs/histogram.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -150,18 +154,228 @@ TEST(ObsTracer, ClearKeepsRingAndEnablement)
     EXPECT_EQ(t.events().size(), 1u);
 }
 
-TEST(ObsTracer, EveryKindHasAStableName)
+TEST(ObsTracer, EveryKindHasAUniqueStableName)
 {
-    for (auto kind : {obs::EventKind::Fetch, obs::EventKind::Decode,
-                      obs::EventKind::DtbHit, obs::EventKind::DtbMiss,
-                      obs::EventKind::DtbEvict,
-                      obs::EventKind::DtbReject, obs::EventKind::Trap,
-                      obs::EventKind::Translate,
-                      obs::EventKind::Promote}) {
+    // Exhaustive over allEventKinds: a new kind that is not appended
+    // there (or falls into eventKindName's "?" default) fails here.
+    static_assert(std::size(obs::allEventKinds) == obs::numEventKinds);
+    std::set<std::string> names;
+    for (obs::EventKind kind : obs::allEventKinds) {
         std::string name = obs::eventKindName(kind);
         EXPECT_FALSE(name.empty());
         EXPECT_NE(name, "?");
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate event kind name " << name;
     }
+    EXPECT_EQ(names.size(), obs::numEventKinds);
+
+    // Spot-check stability: these names are schema, not cosmetics —
+    // profile consumers and scripts/trace_report.py match on them.
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::DtbMiss),
+                 "dtb_miss");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::Translate2),
+                 "translate2");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::Sample), "sample");
+}
+
+// ---- histograms ------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries)
+{
+    EXPECT_EQ(obs::histogramBucketOf(0), 0u);
+    EXPECT_EQ(obs::histogramBucketOf(1), 1u);
+    EXPECT_EQ(obs::histogramBucketOf(2), 2u);
+    EXPECT_EQ(obs::histogramBucketOf(3), 2u);
+    EXPECT_EQ(obs::histogramBucketOf(4), 3u);
+    EXPECT_EQ(obs::histogramBucketOf(7), 3u);
+    EXPECT_EQ(obs::histogramBucketOf(8), 4u);
+    EXPECT_EQ(obs::histogramBucketOf(~uint64_t{0}), 64u);
+    for (unsigned b = 0; b < obs::Histogram::numBuckets; ++b) {
+        // Each bucket's bounds round-trip through bucketOf.
+        EXPECT_EQ(obs::histogramBucketOf(obs::histogramBucketLow(b)), b);
+        EXPECT_EQ(obs::histogramBucketOf(obs::histogramBucketHigh(b)),
+                  b);
+    }
+}
+
+TEST(ObsHistogram, RecordSnapshotAndReset)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    for (uint64_t v : {0, 1, 5, 6, 100})
+        h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 112u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_EQ(h.bucketCount(0), 1u); // {0}
+    EXPECT_EQ(h.bucketCount(3), 2u); // {5, 6}
+    EXPECT_EQ(h.bucketCount(7), 1u); // {100}
+
+    obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 5u);
+    EXPECT_EQ(snap.sum, 112u);
+    // Sparse and bucket-ordered: only the non-empty buckets appear.
+    ASSERT_EQ(snap.buckets.size(), 4u);
+    EXPECT_EQ(snap.buckets[0], (std::pair<unsigned, uint64_t>{0, 1}));
+    EXPECT_EQ(snap.buckets[1], (std::pair<unsigned, uint64_t>{1, 1}));
+    EXPECT_EQ(snap.buckets[2], (std::pair<unsigned, uint64_t>{3, 2}));
+    EXPECT_EQ(snap.buckets[3], (std::pair<unsigned, uint64_t>{7, 1}));
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.snapshot().buckets.empty());
+}
+
+TEST(ObsHistogram, SnapshotMergeAddsCountsAndWidensBounds)
+{
+    obs::Histogram a, b;
+    a.record(2);
+    a.record(3);
+    b.record(3);
+    b.record(40);
+
+    obs::HistogramSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.count, 4u);
+    EXPECT_EQ(merged.sum, 48u);
+    EXPECT_EQ(merged.min, 2u);
+    EXPECT_EQ(merged.max, 40u);
+    ASSERT_EQ(merged.buckets.size(), 2u);
+    EXPECT_EQ(merged.buckets[0], (std::pair<unsigned, uint64_t>{2, 3}));
+    EXPECT_EQ(merged.buckets[1], (std::pair<unsigned, uint64_t>{6, 1}));
+
+    // Merging an empty snapshot must not disturb min/max.
+    merged.merge(obs::HistogramSnapshot{});
+    EXPECT_EQ(merged.min, 2u);
+    EXPECT_EQ(merged.max, 40u);
+}
+
+TEST(ObsHistogram, JsonShape)
+{
+    obs::Histogram h;
+    h.record(5);
+    h.record(9);
+    JsonWriter jw;
+    h.snapshot().writeJson(jw);
+    EXPECT_EQ(jw.str(),
+              "{\"count\":2,\"sum\":14,\"min\":5,\"max\":9,"
+              "\"buckets\":[[3,1],[4,1]]}");
+}
+
+TEST(ObsRegistry, HistogramsRegisterAlongsideCounters)
+{
+    obs::Counter c;
+    obs::Histogram h;
+    obs::Registry reg;
+    reg.add("dtb.hits", c);
+    reg.addHistogram("translate.latency_cycles", h);
+    EXPECT_EQ(reg.numHistograms(), 1u);
+    EXPECT_TRUE(reg.containsHistogram("translate.latency_cycles"));
+    EXPECT_FALSE(reg.containsHistogram("dtb.hits"));
+
+    h.record(12);
+    // Live view, same as counters.
+    ASSERT_NE(reg.histogram("translate.latency_cycles"), nullptr);
+    EXPECT_EQ(reg.histogram("translate.latency_cycles")->count(), 1u);
+    auto snap = reg.histogramSnapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap.at("translate.latency_cycles").sum, 12u);
+
+    obs::Histogram dup;
+    EXPECT_THROW(reg.addHistogram("translate.latency_cycles", dup),
+                 PanicError);
+}
+
+// ---- timelines -------------------------------------------------------------
+
+TEST(ObsTimeline, EveryKindHasATrack)
+{
+    std::set<std::string> tracks;
+    for (obs::EventKind kind : obs::allEventKinds) {
+        std::string track = obs::eventKindTrack(kind);
+        EXPECT_FALSE(track.empty());
+        tracks.insert(track);
+        int tid = obs::eventKindTrackId(kind);
+        EXPECT_GT(tid, 0); // tid 0 is the cycle-bucket overview
+        EXPECT_LE(tid, 6);
+    }
+    // The unit mapping: fetch on the IFU, decode on IU1, dispatch on
+    // IU2, translation on the translator, tiering on the tier engine.
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::Fetch), "ifu");
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::Decode), "iu1");
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::DtbHit), "iu2");
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::Translate),
+                 "translator");
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::TraceEnter),
+                 "tier");
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::Sample),
+                 "sampler");
+}
+
+TEST(ObsTimeline, SpansCarveConsecutiveStamps)
+{
+    using obs::Event;
+    using obs::EventKind;
+    std::vector<Event> events = {
+        {10, 100, 1, EventKind::DtbMiss},
+        {25, 100, 2, EventKind::Translate},
+        {25, 100, 3, EventKind::DtbHit},
+        {40, 104, 4, EventKind::DtbHit},
+    };
+    auto spans = obs::buildTimelineSpans(events);
+    ASSERT_EQ(spans.size(), 4u);
+    // The first event has no earlier boundary: it opens at its stamp.
+    EXPECT_EQ(spans[0].start, 10u);
+    EXPECT_EQ(spans[0].end, 10u);
+    EXPECT_EQ(spans[0].kind, EventKind::DtbMiss);
+    // Span i = [stamp i-1, stamp i], attributed to event i.
+    EXPECT_EQ(spans[1].start, 10u);
+    EXPECT_EQ(spans[1].end, 25u);
+    EXPECT_EQ(spans[1].duration(), 15u);
+    EXPECT_EQ(spans[1].addr, 100u);
+    EXPECT_EQ(spans[1].arg, 2u);
+    // Equal stamps produce a zero-width span, never an underflow.
+    EXPECT_EQ(spans[2].duration(), 0u);
+    EXPECT_EQ(spans[3].start, 25u);
+    EXPECT_EQ(spans[3].end, 40u);
+    EXPECT_TRUE(obs::buildTimelineSpans({}).empty());
+}
+
+TEST(ObsTimeline, ChromeTraceShape)
+{
+    obs::ProfileData p;
+    p.meta.emplace_back("program", "demo");
+    p.meta.emplace_back("machine", "dtb");
+    p.phases.emplace_back("fetch", 4);
+    p.phases.emplace_back("total", 4);
+    p.events.push_back(obs::Event{3, 7, 1, obs::EventKind::DtbMiss});
+    p.events.push_back(obs::Event{9, 7, 2, obs::EventKind::Translate});
+    p.eventsSeen = 2;
+    obs::OccupancySample s;
+    s.cycle = 8;
+    s.dtbSetOccupancy = {1, 0};
+    p.samples.push_back(s);
+
+    std::string doc = obs::toChromeTrace(p);
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    // Track metadata, the bucket overview span, both event spans and
+    // the occupancy counter series are all present.
+    EXPECT_NE(doc.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"iu2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"fetch\",\"ph\":\"X\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"dtb_miss\",\"ph\":\"X\",\"ts\":3"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"translate\",\"ph\":\"X\",\"ts\":3"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"cat\":\"translator\",\"dur\":6"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\",\"ts\":8"), std::string::npos);
+    EXPECT_NE(doc.find("\"events_seen\":2"), std::string::npos);
+    // No drops: the timeline is complete.
+    EXPECT_NE(doc.find("\"complete\":true"), std::string::npos);
 }
 
 // ---- profile reports -------------------------------------------------------
@@ -173,6 +387,9 @@ TEST(ObsReport, JsonlShapeAndEventLines)
     p.phases.emplace_back("fetch", 10);
     p.phases.emplace_back("total", 10);
     p.counters["dtb.hits"] = 7;
+    obs::Histogram h;
+    h.record(3);
+    p.histograms["translate.latency_cycles"] = h.snapshot();
     p.ratios.emplace_back("dtb.hit_ratio", 0.875);
     p.events.push_back(
         obs::Event{42, 5, 1, obs::EventKind::DtbMiss});
@@ -182,10 +399,13 @@ TEST(ObsReport, JsonlShapeAndEventLines)
     // One line per section plus one per event, each valid JSON.
     size_t lines = static_cast<size_t>(
         std::count(doc.begin(), doc.end(), '\n'));
-    EXPECT_EQ(lines, 6u);
+    EXPECT_EQ(lines, 7u);
     EXPECT_NE(doc.find("{\"type\":\"meta\",\"program\":\"demo\"}"),
               std::string::npos);
     EXPECT_NE(doc.find("\"dtb.hits\":7"), std::string::npos);
+    EXPECT_NE(doc.find("{\"type\":\"histograms\","
+                       "\"translate.latency_cycles\":{\"count\":1,"),
+              std::string::npos);
     EXPECT_NE(doc.find("{\"type\":\"event\",\"cycle\":42,"
                        "\"kind\":\"dtb_miss\",\"addr\":5,\"arg\":1}"),
               std::string::npos);
@@ -346,6 +566,82 @@ TEST(ObsMachine, ProfileJsonlMatchesRunResultStatistics)
     EXPECT_NE(doc.find("\"type\":\"phases\""), std::string::npos);
     EXPECT_NE(doc.find("\"total\":" + std::to_string(r.cycles)),
               std::string::npos);
+}
+
+TEST(ObsMachine, HistogramsFollowTheMissPath)
+{
+    RunResult r =
+        runSample("qsort", MachineKind::Dtb, MachineConfig{}).result;
+    // One latency observation per DTB miss: the histogram count must
+    // agree with the counter, and every translation takes >= the trap
+    // cost, so the minimum is positive.
+    ASSERT_EQ(r.histograms.count("translate.latency_cycles"), 1u);
+    const obs::HistogramSnapshot &lat =
+        r.histograms.at("translate.latency_cycles");
+    EXPECT_EQ(lat.count, r.counters.at("dtb.misses"));
+    EXPECT_GT(lat.min, 0u);
+    EXPECT_GE(lat.max, lat.min);
+    // Residency/occupancy are recorded once per eviction.
+    EXPECT_EQ(r.histograms.at("dtb.residency_cycles").count,
+              r.histograms.at("dtb.evict_set_occupancy").count);
+
+    // No DTB, no DTB histograms.
+    RunResult conv = runSample("fib", MachineKind::Conventional,
+                               MachineConfig{}).result;
+    EXPECT_EQ(conv.histograms.count("translate.latency_cycles"), 0u);
+}
+
+TEST(ObsMachine, OccupancySamplerIsPeriodicAndDeterministic)
+{
+    // Off by default: no samples, no cost.
+    RunResult plain =
+        runSample("qsort", MachineKind::Dtb, MachineConfig{}).result;
+    EXPECT_TRUE(plain.samples.empty());
+
+    MachineConfig cfg;
+    cfg.sampleIntervalCycles = 1000;
+    SampleRun sr = runSample("qsort", MachineKind::Dtb, cfg);
+    const RunResult &r = sr.result;
+    ASSERT_FALSE(r.samples.empty());
+    uint64_t next_at = cfg.sampleIntervalCycles;
+    uint64_t prev_instrs = 0;
+    for (const obs::OccupancySample &s : r.samples) {
+        // One sample per interval crossing: each stamp is at or past
+        // the boundary the previous sample armed, never a burst.
+        EXPECT_GE(s.cycle, next_at);
+        next_at = (s.cycle / cfg.sampleIntervalCycles + 1) *
+                  cfg.sampleIntervalCycles;
+        EXPECT_GE(s.dirInstrs, prev_instrs);
+        prev_instrs = s.dirInstrs;
+        ASSERT_FALSE(s.dtbSetOccupancy.empty());
+        EXPECT_TRUE(s.traceSetOccupancy.empty()); // no tier on Dtb
+    }
+    // The deltas tile the run: summed, they equal the final counters.
+    uint64_t hits = 0, misses = 0;
+    for (const obs::OccupancySample &s : r.samples) {
+        hits += s.dtbHitsDelta;
+        misses += s.dtbMissesDelta;
+    }
+    EXPECT_LE(hits, r.counters.at("dtb.hits"));
+    EXPECT_LE(misses, r.counters.at("dtb.misses"));
+
+    // Sampling is part of the deterministic machine state: a repeat
+    // run reproduces the series exactly, and never changes the cycles.
+    RunResult again = sr.machine->run(
+        workload::sampleByName("qsort").input);
+    EXPECT_EQ(again.samples, r.samples);
+    EXPECT_EQ(again.cycles, plain.cycles);
+}
+
+TEST(ObsMachine, TieredSamplesCarryTraceOccupancy)
+{
+    MachineConfig cfg;
+    cfg.sampleIntervalCycles = 4096;
+    RunResult r = runSample("qsort", MachineKind::Tiered, cfg).result;
+    ASSERT_FALSE(r.samples.empty());
+    EXPECT_FALSE(r.samples.back().traceSetOccupancy.empty());
+    ASSERT_EQ(r.histograms.count("tier.trace_len_dir"), 1u);
+    EXPECT_GT(r.histograms.at("tier.trace_len_dir").count, 0u);
 }
 
 TEST(ObsMachine, CountersResetBetweenRuns)

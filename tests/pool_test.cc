@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -198,6 +199,82 @@ TEST(ObsMerge, EventMergePreservesInShardOrderOnEqualCycles)
     ASSERT_EQ(merged.size(), 5u);
     for (uint64_t i = 0; i < 5; ++i)
         EXPECT_EQ(merged[i].addr, i);
+}
+
+TEST(ObsMerge, EventMergeMatchesBruteForceReference)
+{
+    using obs::Event;
+    using obs::EventKind;
+    // Adversarial shards: many equal cycle stamps across shards, some
+    // empty shards, non-uniform lengths. Deterministic LCG so the case
+    // is reproducible.
+    uint64_t state = 1978;
+    auto next = [&state] {
+        state = state * 6364136223846793005u + 1442695040888963407u;
+        return state >> 33;
+    };
+    std::vector<std::vector<Event>> shards(7);
+    for (size_t sh = 0; sh < shards.size(); ++sh) {
+        size_t n = sh == 3 ? 0 : 20 + next() % 30;
+        uint64_t cycle = 0;
+        for (size_t i = 0; i < n; ++i) {
+            cycle += next() % 3; // frequent ties, in and across shards
+            // addr encodes (shard, in-shard index) so the expected
+            // order is checkable from the merged stream alone.
+            shards[sh].push_back(Event{cycle, sh * 1000 + i, 0,
+                                       EventKind::Fetch});
+        }
+    }
+
+    // Reference: flatten in shard order, then stable-sort by cycle.
+    // Stability turns "shard order in, shard order out" into exactly
+    // the documented tie-break (shard index, then in-shard order).
+    std::vector<Event> expected;
+    for (const auto &shard : shards)
+        expected.insert(expected.end(), shard.begin(), shard.end());
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    std::vector<Event> merged = obs::mergeEventStreams(shards);
+    ASSERT_EQ(merged.size(), expected.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].cycle, expected[i].cycle);
+        EXPECT_EQ(merged[i].addr, expected[i].addr);
+    }
+}
+
+TEST(ObsMerge, MergedHistogramsAccumulateSnapshots)
+{
+    obs::Histogram a, b;
+    a.record(4);
+    a.record(5);
+    b.record(1000);
+
+    obs::MergedHistograms merged;
+    merged.accumulate({{"translate.latency_cycles", a.snapshot()}});
+    merged.accumulate({{"translate.latency_cycles", b.snapshot()},
+                       {"dtb.residency_cycles", a.snapshot()}});
+    EXPECT_EQ(merged.shards(), 2u);
+
+    obs::HistogramSnapshot lat =
+        merged.get("translate.latency_cycles");
+    EXPECT_EQ(lat.count, 3u);
+    EXPECT_EQ(lat.sum, 1009u);
+    EXPECT_EQ(lat.min, 4u);
+    EXPECT_EQ(lat.max, 1000u);
+    // Absent names appear; never-seen names come back empty.
+    EXPECT_EQ(merged.get("dtb.residency_cycles").count, 2u);
+    EXPECT_EQ(merged.get("absent").count, 0u);
+    // The merged map is name-ordered, independent of arrival order.
+    ASSERT_EQ(merged.values().size(), 2u);
+    EXPECT_EQ(merged.values().begin()->first, "dtb.residency_cycles");
+
+    JsonWriter jw;
+    merged.writeJson(jw);
+    EXPECT_NE(jw.str().find("\"translate.latency_cycles\":{\"count\":3"),
+              std::string::npos);
 }
 
 TEST(ObsMerge, EmptyInputsMergeToEmpty)

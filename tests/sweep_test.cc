@@ -124,15 +124,55 @@ TEST(Sweep, ReportShapeMatchesTheDocumentedSchema)
     for (char c : report.jsonl)
         if (c == '\n')
             ++lines;
-    // One sweep_point line per point plus one sweep_summary line.
-    EXPECT_EQ(lines, points.size() + 1);
+    // One sweep_point line per point, one sweep_hist line per point
+    // that registered histograms (the DTB-bearing organizations), one
+    // sweep_sample line per occupancy sample (none here — sampling is
+    // off by default), plus one sweep_summary line.
+    size_t expected = points.size() + 1;
+    for (const RunResult &r : report.results) {
+        expected += r.histograms.empty() ? 0 : 1;
+        expected += r.samples.size();
+    }
+    EXPECT_EQ(lines, expected);
     EXPECT_NE(report.jsonl.find("\"type\":\"sweep_point\""),
               std::string::npos);
+    EXPECT_NE(report.jsonl.find("\"type\":\"sweep_hist\""),
+              std::string::npos);
+    EXPECT_EQ(report.jsonl.find("\"type\":\"sweep_sample\""),
+              std::string::npos);
     EXPECT_NE(report.jsonl.find("\"type\":\"sweep_summary\""),
+              std::string::npos);
+    // The summary line carries the merged histograms.
+    EXPECT_NE(report.jsonl.find("\"histograms\":{"), std::string::npos);
+    EXPECT_NE(report.jsonl.find("\"translate.latency_cycles\""),
               std::string::npos);
     // Per-point results arrive in point order, untouched by scheduling.
     for (size_t i = 0; i < points.size(); ++i)
         EXPECT_GT(report.results[i].dirInstrs, 0u) << "point " << i;
+}
+
+TEST(Sweep, SampledSweepsStayByteIdentical)
+{
+    // The interval sampler's series rides the report as sweep_sample
+    // lines; it must obey the same determinism contract as everything
+    // else, and the histogram aggregate must match a by-hand fold.
+    std::vector<SweepPoint> points = testBatch();
+    for (SweepPoint &point : points)
+        point.config.sampleIntervalCycles = 2048;
+
+    SweepRunner serial(1);
+    SweepRunner parallel(8);
+    SweepReport one = runSweep(serial, points);
+    SweepReport eight = runSweep(parallel, points);
+    EXPECT_EQ(one.jsonl, eight.jsonl);
+    EXPECT_NE(one.jsonl.find("\"type\":\"sweep_sample\""),
+              std::string::npos);
+
+    obs::MergedHistograms byHand;
+    for (const RunResult &r : one.results)
+        byHand.accumulate(r.histograms);
+    EXPECT_EQ(one.histograms.values(), byHand.values());
+    EXPECT_EQ(eight.histograms.values(), byHand.values());
 }
 
 TEST(Sweep, MergedCountersEqualTheSumOfPerPointCounters)
