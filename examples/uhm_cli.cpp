@@ -9,6 +9,14 @@
  * "run" is the (optional) explicit name of the single-program
  * subcommand; omitting it is equivalent.
  *
+ * With --tenants=<n> (n >= 1) the run subcommand becomes
+ * multi-programmed: n copies of the program are time-sliced over one
+ * machine with a shared DTB by the tenant scheduler (src/sched/).
+ * --sched picks the policy, --quantum-cycles the slice length,
+ * --switch-mode what happens to the shared DTB on a switch, and
+ * --partitions divides its set space among tenants. Requires a
+ * DTB-dispatching --machine (dtb or tiered).
+ *
  * The sweep subcommand runs a batch of programs concurrently on the
  * parallel sweep harness (bench/bench_common.hh) and emits a JSONL
  * report — one "sweep_point" line per program in argument order plus
@@ -40,6 +48,15 @@
  *   --tier-threshold=<n>   backedges before a trace records (tiered, 8)
  *   --trace-cap=<n>        max DIR instrs per trace (tiered, 64)
  *   --trace-bytes=<n>      trace-cache capacity (tiered, 8192)
+ *   The three tier flags are rejected (exit 1) when --machine is not
+ *   tiered — a misspelled machine kind must not silently ignore them.
+ *   --tenants=<n>          time-slice n copies of the program (0 = off)
+ *   --sched=<rr|prio|feedback>  tenant scheduling policy (default rr)
+ *   --quantum-cycles=<n>   nominal slice length in cycles (5000)
+ *   --switch-mode=<flush|tag>   shared-DTB handling on a tenant
+ *                          switch (default tag)
+ *   --partitions=<n>       partition the shared DTB's sets among
+ *                          tenants (0/1 = fully shared)
  *   --raise                raise the DIR's semantic level (fuse opcodes)
  *   --disasm               print the DIR disassembly and exit
  *   --emit-asm=<file>      write round-trippable DIR assembly and exit
@@ -75,6 +92,7 @@
 #include <vector>
 
 #include "obs/timeline.hh"
+#include "sched/scheduler.hh"
 
 #include "bench_common.hh"
 #include "dir/asm.hh"
@@ -101,6 +119,20 @@ struct Options
     uint32_t tierThreshold = 8;
     size_t traceCap = 64;
     uint64_t traceBytes = 8192;
+    /**
+     * First tier-only flag seen on the command line, empty when none:
+     * tier flags on a non-tiered machine are an error, not a no-op.
+     */
+    std::string tierFlagSeen;
+    /** Tenant count; 0 = classic single-program run. */
+    unsigned tenants = 0;
+    uhm::sched::Policy schedPolicy = uhm::sched::Policy::RoundRobin;
+    uint64_t quantumCycles = 5000;
+    uhm::sched::SwitchMode switchMode =
+        uhm::sched::SwitchMode::TagAndShare;
+    uint64_t partitions = 0;
+    /** First scheduler-only flag seen, empty when none. */
+    std::string schedFlagSeen;
     bool raiseLevel = false;
     bool disasm = false;
     bool stats = false;
@@ -161,6 +193,14 @@ printMainHelp()
         "  --input=<ints>         comma-separated read-statement input\n"
         "  --dtb-bytes=<n>        DTB buffer capacity (default 4096)\n"
         "  --assoc=<n>            DTB/cache ways, 0 = full (default 4)\n"
+        "  --tenants=<n>          time-slice n copies of the program\n"
+        "                         over one shared DTB (0 = off)\n"
+        "  --sched=<rr|prio|feedback>  tenant policy (default rr)\n"
+        "  --quantum-cycles=<n>   nominal slice length (default 5000)\n"
+        "  --switch-mode=<flush|tag>   DTB handling on a tenant switch\n"
+        "                         (default tag)\n"
+        "  --partitions=<n>       partition the shared DTB's sets among\n"
+        "                         tenants (0/1 = fully shared)\n"
         "  --raise                fuse opcodes (raise semantic level)\n"
         "  --disasm               print the DIR disassembly and exit\n"
         "  --emit-asm=<file>      write DIR assembly and exit\n"
@@ -257,13 +297,46 @@ parseArgs(int argc, char **argv)
         else if (arg.rfind("--assoc=", 0) == 0)
             opts.assoc = static_cast<unsigned>(
                 std::stoul(value("--assoc=")));
-        else if (arg.rfind("--tier-threshold=", 0) == 0)
+        else if (arg.rfind("--tier-threshold=", 0) == 0) {
             opts.tierThreshold = static_cast<uint32_t>(
                 std::stoul(value("--tier-threshold=")));
-        else if (arg.rfind("--trace-cap=", 0) == 0)
+            opts.tierFlagSeen = "--tier-threshold";
+        }
+        else if (arg.rfind("--trace-cap=", 0) == 0) {
             opts.traceCap = std::stoull(value("--trace-cap="));
-        else if (arg.rfind("--trace-bytes=", 0) == 0)
+            opts.tierFlagSeen = "--trace-cap";
+        }
+        else if (arg.rfind("--trace-bytes=", 0) == 0) {
             opts.traceBytes = std::stoull(value("--trace-bytes="));
+            opts.tierFlagSeen = "--trace-bytes";
+        }
+        else if (arg.rfind("--tenants=", 0) == 0)
+            opts.tenants = static_cast<unsigned>(
+                std::stoul(value("--tenants=")));
+        else if (arg.rfind("--sched=", 0) == 0) {
+            if (!uhm::sched::parsePolicy(value("--sched="),
+                                         opts.schedPolicy))
+                uhm::fatal("unknown scheduling policy '%s' "
+                           "(rr|prio|feedback)",
+                           value("--sched=").c_str());
+            opts.schedFlagSeen = "--sched";
+        }
+        else if (arg.rfind("--quantum-cycles=", 0) == 0) {
+            opts.quantumCycles =
+                std::stoull(value("--quantum-cycles="));
+            opts.schedFlagSeen = "--quantum-cycles";
+        }
+        else if (arg.rfind("--switch-mode=", 0) == 0) {
+            if (!uhm::sched::parseSwitchMode(value("--switch-mode="),
+                                             opts.switchMode))
+                uhm::fatal("unknown switch mode '%s' (flush|tag)",
+                           value("--switch-mode=").c_str());
+            opts.schedFlagSeen = "--switch-mode";
+        }
+        else if (arg.rfind("--partitions=", 0) == 0) {
+            opts.partitions = std::stoull(value("--partitions="));
+            opts.schedFlagSeen = "--partitions";
+        }
         else if (arg == "--help" || arg == "-h") {
             printMainHelp();
             std::exit(0);
@@ -342,6 +415,7 @@ runSweepCommand(int argc, char **argv)
     uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
     uhm::tier::TierConfig tier_cfg;
     uhm::tier::TraceCacheConfig trace_cache_cfg;
+    std::string tier_flag_seen;
     std::string out_path;
     std::vector<std::string> programs;
 
@@ -360,14 +434,20 @@ runSweepCommand(int argc, char **argv)
             scheme = parseEncoding(value("--encoding="));
         else if (arg.rfind("--decode=", 0) == 0)
             applyDecodeKind(value("--decode="));
-        else if (arg.rfind("--tier-threshold=", 0) == 0)
+        else if (arg.rfind("--tier-threshold=", 0) == 0) {
             tier_cfg.hotThreshold = static_cast<uint32_t>(
                 std::stoul(value("--tier-threshold=")));
-        else if (arg.rfind("--trace-cap=", 0) == 0)
+            tier_flag_seen = "--tier-threshold";
+        }
+        else if (arg.rfind("--trace-cap=", 0) == 0) {
             tier_cfg.traceCap = std::stoull(value("--trace-cap="));
-        else if (arg.rfind("--trace-bytes=", 0) == 0)
+            tier_flag_seen = "--trace-cap";
+        }
+        else if (arg.rfind("--trace-bytes=", 0) == 0) {
             trace_cache_cfg.capacityBytes =
                 std::stoull(value("--trace-bytes="));
+            tier_flag_seen = "--trace-bytes";
+        }
         else if (arg == "--help" || arg == "-h") {
             printSweepHelp();
             return 0;
@@ -383,6 +463,9 @@ runSweepCommand(int argc, char **argv)
         else
             programs.push_back(arg);
     }
+    if (!tier_flag_seen.empty() && kind != uhm::MachineKind::Tiered)
+        uhm::fatal("%s only applies to --machine=tiered (got '%s')",
+                   tier_flag_seen.c_str(), uhm::machineKindName(kind));
     if (programs.empty()) {
         for (const auto &sample : uhm::workload::samplePrograms())
             programs.push_back(sample.name);
@@ -422,6 +505,133 @@ runSweepCommand(int argc, char **argv)
                  points.size(), runner.jobs(),
                  static_cast<unsigned long long>(
                      report.counters.get("machine.dir_instrs")));
+    return 0;
+}
+
+/**
+ * The multi-tenant path: n copies of the program time-sliced over one
+ * shared-DTB machine by the tenant scheduler. @p cfg is the per-tenant
+ * machine template the classic path would have used.
+ */
+int
+runMultiTenant(const Options &opts, const uhm::DirProgram &prog,
+               uhm::MachineConfig cfg)
+{
+    namespace sched = uhm::sched;
+    if (opts.kind != uhm::MachineKind::Dtb &&
+        opts.kind != uhm::MachineKind::Tiered)
+        uhm::fatal("--tenants requires --machine=dtb or tiered "
+                   "(got '%s')", uhm::machineKindName(opts.kind));
+    if (opts.profile)
+        uhm::fatal("--profile is per-machine; with --tenants use "
+                   "--timeline and --stats");
+    if (opts.trace)
+        uhm::fatal("--trace is per-machine and not supported with "
+                   "--tenants");
+    if (opts.sampleInterval > 0)
+        uhm::fatal("--sample-interval is per-machine and not supported "
+                   "with --tenants");
+
+    cfg.dtb.numPartitions = opts.partitions;
+    cfg.traceEvents = false;
+    cfg.profileEvents = false;
+
+    sched::SchedConfig sc;
+    sc.policy = opts.schedPolicy;
+    sc.switchMode = opts.switchMode;
+    sc.quantumCycles = opts.quantumCycles;
+    sc.scheme = opts.scheme;
+    sc.machine = cfg;
+    sc.profileEvents = !opts.timelinePath.empty();
+    if (sc.profileEvents)
+        sc.profileEventCapacity =
+            std::max<size_t>(sc.profileEventCapacity, size_t{1} << 20);
+
+    std::vector<sched::TenantSpec> tenants;
+    tenants.reserve(opts.tenants);
+    for (unsigned i = 0; i < opts.tenants; ++i) {
+        sched::TenantSpec spec;
+        spec.name = opts.program + "#" + std::to_string(i);
+        spec.program = prog;
+        spec.input = opts.input;
+        // Deterministic priority mix (1,2,3,1,...) so --sched=prio has
+        // something to act on even with identical programs.
+        spec.priority = 1 + i % 3;
+        tenants.push_back(std::move(spec));
+    }
+
+    sched::SchedResult sr = sched::runScheduled(sc, std::move(tenants));
+
+    for (const sched::TenantResult &t : sr.tenants) {
+        std::printf("tenant %u:", t.asid);
+        for (int64_t v : t.run.output)
+            std::printf(" %lld", static_cast<long long>(v));
+        std::printf("\n");
+    }
+    std::fprintf(stderr,
+                 "# %s / %s: %zu tenants, policy %s, %s switches, "
+                 "quantum %llu; %llu cycles total, %llu switches, "
+                 "%llu flushes\n",
+                 uhm::machineKindName(opts.kind),
+                 uhm::encodingName(opts.scheme), sr.tenants.size(),
+                 sched::policyName(sc.policy),
+                 sched::switchModeName(sc.switchMode),
+                 static_cast<unsigned long long>(sc.quantumCycles),
+                 static_cast<unsigned long long>(sr.totalCycles),
+                 static_cast<unsigned long long>(sr.switches),
+                 static_cast<unsigned long long>(sr.flushes));
+    for (const sched::TenantResult &t : sr.tenants) {
+        std::fprintf(stderr,
+                     "# tenant %u (%s): %llu instrs, %llu cycles in "
+                     "%llu slices, dtb miss %.4f, cpi p50 %.3f p99 "
+                     "%.3f, finished @%llu\n",
+                     t.asid, t.name.c_str(),
+                     static_cast<unsigned long long>(t.run.dirInstrs),
+                     static_cast<unsigned long long>(t.run.cycles),
+                     static_cast<unsigned long long>(t.slices),
+                     t.missRate(),
+                     static_cast<double>(t.cpiP50()) / 1000.0,
+                     static_cast<double>(t.cpiP99()) / 1000.0,
+                     static_cast<unsigned long long>(
+                         t.finishedAtCycle));
+    }
+    if (opts.stats) {
+        for (const auto &kv : sr.counters)
+            std::fprintf(stderr, "# %s = %llu\n", kv.first.c_str(),
+                         static_cast<unsigned long long>(kv.second));
+    }
+    if (!opts.timelinePath.empty()) {
+        uhm::obs::ProfileData p;
+        p.meta.emplace_back("program", opts.program);
+        p.meta.emplace_back("machine",
+                            uhm::machineKindName(opts.kind));
+        p.meta.emplace_back("encoding",
+                            uhm::encodingName(opts.scheme));
+        p.meta.emplace_back("tenants",
+                            std::to_string(sr.tenants.size()));
+        p.meta.emplace_back("policy", sched::policyName(sc.policy));
+        p.meta.emplace_back("switch_mode",
+                            sched::switchModeName(sc.switchMode));
+        const uhm::CycleBreakdown &b = sr.breakdown;
+        p.phases = {
+            {"fetch", b.fetch},         {"decode", b.decode},
+            {"stage", b.stage},         {"dispatch", b.dispatch},
+            {"semantic", b.semantic},   {"translate", b.translate},
+            {"translate2", b.translate2},
+            {"total", b.total()},
+        };
+        p.counters = sr.counters;
+        p.histograms = sr.histograms;
+        p.events = sr.events;
+        p.eventsSeen = sr.eventsSeen;
+        p.eventsDropped = sr.eventsDropped;
+        std::ofstream out(opts.timelinePath);
+        if (!out)
+            uhm::fatal("cannot open '%s'", opts.timelinePath.c_str());
+        out << uhm::obs::toChromeTrace(p);
+        std::fprintf(stderr, "# timeline: %zu events -> %s\n",
+                     sr.events.size(), opts.timelinePath.c_str());
+    }
     return 0;
 }
 
@@ -468,6 +678,14 @@ try {
         return 0;
     }
 
+    if (!opts.tierFlagSeen.empty() &&
+        opts.kind != uhm::MachineKind::Tiered)
+        uhm::fatal("%s only applies to --machine=tiered (got '%s')",
+                   opts.tierFlagSeen.c_str(),
+                   uhm::machineKindName(opts.kind));
+    if (!opts.schedFlagSeen.empty() && opts.tenants == 0)
+        uhm::fatal("%s requires --tenants", opts.schedFlagSeen.c_str());
+
     auto image = uhm::encodeDir(prog, opts.scheme);
     uhm::MachineConfig cfg;
     cfg.kind = opts.kind;
@@ -490,6 +708,9 @@ try {
         cfg.profileEventCapacity =
             std::max<size_t>(cfg.profileEventCapacity, size_t{1} << 20);
     cfg.sampleIntervalCycles = opts.sampleInterval;
+
+    if (opts.tenants > 0)
+        return runMultiTenant(opts, prog, cfg);
 
     uhm::Machine machine(*image, cfg);
     uhm::RunResult r = machine.run(opts.input);

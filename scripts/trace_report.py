@@ -33,11 +33,12 @@ EVENT_NAMES = {
     "fetch", "decode", "dtb_hit", "dtb_miss", "dtb_evict", "dtb_reject",
     "trap", "translate", "promote", "trace_record", "trace_abort",
     "translate2", "trace_enter", "trace_exit", "trace_evict",
-    "trace_invalidate", "sample",
+    "trace_invalidate", "sample", "dtb_flush", "sched_slice",
+    "sched_switch",
 }
 TRACK_NAMES = {
     "cycle buckets", "ifu", "iu1", "iu2", "translator", "tier",
-    "sampler",
+    "sampler", "sched",
 }
 PHASES = {"M", "X", "C"}
 

@@ -38,6 +38,12 @@ Dtb::Dtb(const DtbConfig &config) : config_(config), rng_(config.seed)
     // Trim entries that do not fill a whole set.
     numEntries_ = numSets_ * assoc_;
 
+    numPartitions_ = config.numPartitions <= 1 ? 1 :
+        config.numPartitions;
+    uhm_assert(numPartitions_ <= numSets_,
+               "more DTB partitions than sets");
+    setsPerPartition_ = numSets_ / numPartitions_;
+
     entries_.assign(numEntries_, Entry{});
     repl_.reserve(numSets_);
     for (uint64_t s = 0; s < numSets_; ++s)
@@ -48,9 +54,15 @@ uint64_t
 Dtb::setOf(uint64_t dir_addr) const
 {
     // Multiplicative hash of the DIR bit address ("the DIR instruction
-    // address is hashed to select a unique set").
-    uint64_t h = dir_addr * 0x9e3779b97f4a7c15ull;
-    return (h >> 32) % numSets_;
+    // address is hashed to select a unique set"). In partitioned mode
+    // the hash lands inside the current tenant's contiguous region
+    // (the trailing numSets_ % numPartitions_ sets go unused — the
+    // partitions stay equal-sized).
+    uint64_t h = (dir_addr * 0x9e3779b97f4a7c15ull) >> 32;
+    if (numPartitions_ == 1)
+        return h % numSets_;
+    return (asid_ % numPartitions_) * setsPerPartition_ +
+        h % setsPerPartition_;
 }
 
 Dtb::LookupResult
@@ -60,7 +72,8 @@ Dtb::lookup(uint64_t dir_addr)
     Entry *set_entries = &entries_[set * assoc_];
     for (unsigned way = 0; way < assoc_; ++way) {
         Entry &e = set_entries[way];
-        if (e.meta.valid && e.meta.tag == dir_addr) {
+        if (e.meta.valid && e.meta.tag == dir_addr &&
+            e.meta.asid == asid_) {
             repl_[set].touch(way);
             ++hits_;
             ++e.meta.useCount;
@@ -78,7 +91,8 @@ Dtb::findEntry(uint64_t dir_addr)
     Entry *set_entries = &entries_[set * assoc_];
     for (unsigned way = 0; way < assoc_; ++way) {
         Entry &e = set_entries[way];
-        if (e.meta.valid && e.meta.tag == dir_addr)
+        if (e.meta.valid && e.meta.tag == dir_addr &&
+            e.meta.asid == asid_)
             return &e;
     }
     return nullptr;
@@ -164,6 +178,7 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code,
     if (victim) {
         out.evicted = victim->meta.valid;
         out.victimTag = victim->meta.tag;
+        out.victimAsid = victim->meta.asid;
         out.victimUses = victim->meta.useCount;
         if (now > victim->meta.insertCycle)
             out.victimResidency = now - victim->meta.insertCycle;
@@ -176,6 +191,7 @@ Dtb::insert(uint64_t dir_addr, std::vector<ShortInstr> code,
     Entry &e = set_entries[way];
     e.meta.reset();
     e.meta.tag = dir_addr;
+    e.meta.asid = asid_;
     e.meta.valid = true;
     e.meta.units = units_needed;
     e.meta.insertCycle = now;
@@ -208,6 +224,70 @@ Dtb::registerCounters(obs::Registry &registry,
     registry.add(obs::joinName(prefix, "rejects"), rejects_);
     registry.add(obs::joinName(prefix, "overflow_blocks"),
                  overflowBlocks_);
+    registry.add(obs::joinName(prefix, "flushes"), flushes_);
+    registry.add(obs::joinName(prefix, "flushed_entries"),
+                 flushedEntries_);
+}
+
+std::vector<Dtb::FlushedEntry>
+Dtb::flush(uint64_t now)
+{
+    std::vector<FlushedEntry> victims;
+    for (Entry &e : entries_) {
+        if (!e.meta.valid)
+            continue;
+        FlushedEntry v;
+        v.tag = e.meta.tag;
+        v.asid = e.meta.asid;
+        if (now > e.meta.insertCycle)
+            v.residency = now - e.meta.insertCycle;
+        v.uses = e.meta.useCount;
+        v.anchoredTrace = e.meta.anchorsTrace;
+        victims.push_back(v);
+        evict(e);
+        ++flushedEntries_;
+    }
+    ++flushes_;
+    return victims;
+}
+
+std::vector<uint64_t>
+Dtb::residentResidencies(uint64_t now, int64_t asid_filter) const
+{
+    std::vector<uint64_t> residencies;
+    for (const Entry &e : entries_) {
+        if (!e.meta.valid)
+            continue;
+        if (asid_filter >= 0 &&
+            e.meta.asid != static_cast<uint32_t>(asid_filter))
+            continue;
+        residencies.push_back(
+            now > e.meta.insertCycle ? now - e.meta.insertCycle : 0);
+    }
+    return residencies;
+}
+
+void
+Dtb::resetStats()
+{
+    hits_.reset();
+    misses_.reset();
+    inserts_.reset();
+    evictions_.reset();
+    rejects_.reset();
+    overflowBlocks_.reset();
+    flushes_.reset();
+    flushedEntries_.reset();
+    // Per-entry observability state restarts with the epoch: a
+    // residency or use figure measured after the reset must not carry
+    // lifetime from before it. Behavioral state (the translation, the
+    // backedge counter, the anchor flag) is untouched.
+    for (Entry &e : entries_) {
+        if (e.meta.valid) {
+            e.meta.useCount = 0;
+            e.meta.insertCycle = 0;
+        }
+    }
 }
 
 void

@@ -57,6 +57,15 @@ struct DtbConfig
     double overflowFraction = 0.25;
     /** Seed for the Random replacement policy. */
     uint64_t seed = 7;
+    /**
+     * Partitioned set allocation for multi-tenant sharing: when >= 2,
+     * the set space is divided into this many contiguous regions and a
+     * tenant's accesses hash only within region asid % numPartitions —
+     * tenants cannot evict each other, at the price of a smaller
+     * effective buffer each. 0 or 1 leaves the whole set space shared
+     * (tag-and-share interference, measurable by bench_multitenant).
+     */
+    uint64_t numPartitions = 0;
 };
 
 /** The dynamic translation buffer. */
@@ -97,6 +106,8 @@ class Dtb
         bool evicted = false;
         /** DIR tag of the destroyed entry (when evicted). */
         uint64_t victimTag = 0;
+        /** Owner ASID of the destroyed entry (when evicted). */
+        uint32_t victimAsid = 0;
         /** Buffer units the new translation needs. */
         unsigned unitsNeeded = 1;
         /** Cycles the victim was resident: now - insertCycle
@@ -128,6 +139,52 @@ class Dtb
 
     /** Invalidate every entry (e.g. program image replaced). */
     void invalidateAll();
+
+    /**
+     * Select the address space subsequent lookups, inserts and anchor
+     * operations run in. Entries of other ASIDs stay resident (and, in
+     * shared-set mode, remain eviction candidates) but never match.
+     */
+    void setAsid(uint32_t asid) { asid_ = asid; }
+
+    /** The current address-space ID. */
+    uint32_t asid() const { return asid_; }
+
+    /** One entry destroyed by flush(), for residency/anchor accounting. */
+    struct FlushedEntry
+    {
+        /** DIR tag of the flushed entry. */
+        uint64_t tag = 0;
+        /** Owner of the flushed entry. */
+        uint32_t asid = 0;
+        /** Cycles the entry was resident (now - insertCycle). */
+        uint64_t residency = 0;
+        /** Hits the entry collected while resident. */
+        uint32_t uses = 0;
+        /** The entry anchored a tier-2 trace that must be invalidated. */
+        bool anchoredTrace = false;
+    };
+
+    /**
+     * Destroy every resident entry — all ASIDs — through the same
+     * release path eviction uses, and report each victim so the caller
+     * can drain residency histograms and invalidate anchored traces
+     * (the flush-on-switch path; a bare invalidateAll() would leave
+     * dangling trace anchors). @p now is the caller's cycle count, as
+     * for insert(). Counts one flush plus one flushed entry per victim;
+     * capacity evictions are not inflated.
+     */
+    std::vector<FlushedEntry> flush(uint64_t now);
+
+    /**
+     * Residency (now - insertCycle) of every entry still resident, in
+     * entry order — what a halt-time drain feeds the residency
+     * histogram so never-evicted translations are observed too.
+     * @p asid_filter restricts to one ASID; -1 means all. Read-only.
+     */
+    std::vector<uint64_t> residentResidencies(uint64_t now,
+                                              int64_t asid_filter = -1)
+        const;
 
     /**
      * Flag the resident entry for @p dir_addr as anchoring a tier-2
@@ -185,28 +242,29 @@ class Dtb
      */
     StatSet stats() const;
 
+    uint64_t flushes() const { return flushes_.value(); }
+    uint64_t flushedEntries() const { return flushedEntries_.value(); }
+
     /**
      * Publish this DTB's counters into @p registry under
      * "<prefix>.hits", "<prefix>.misses", "<prefix>.inserts",
      * "<prefix>.evictions", "<prefix>.rejects",
-     * "<prefix>.overflow_blocks".
+     * "<prefix>.overflow_blocks", "<prefix>.flushes",
+     * "<prefix>.flushed_entries".
      */
     void registerCounters(obs::Registry &registry,
                           const std::string &prefix) const;
 
     const DtbConfig &config() const { return config_; }
 
-    /** Reset all counters (contents retained). */
-    void
-    resetStats()
-    {
-        hits_.reset();
-        misses_.reset();
-        inserts_.reset();
-        evictions_.reset();
-        rejects_.reset();
-        overflowBlocks_.reset();
-    }
+    /**
+     * Reset all counters AND the per-entry observability state (use
+     * counts and insert-cycle stamps) so residency/use figures measured
+     * after the reset carry nothing from the previous epoch. Resident
+     * translations — and the behavioral state the tier reads
+     * (backedge counters, anchor flags) — are retained.
+     */
+    void resetStats();
 
   private:
     struct Entry
@@ -229,6 +287,12 @@ class Dtb
     unsigned assoc_;
     uint64_t overflowTotal_;
     uint64_t overflowFree_;
+    /** Active partitions (0 or 1 = shared set space). */
+    uint64_t numPartitions_;
+    /** Sets per partition (numSets_ when unpartitioned). */
+    uint64_t setsPerPartition_;
+    /** Current address-space ID (0 for single-tenant machines). */
+    uint32_t asid_ = 0;
     Rng rng_;
     /** entries_[set * assoc_ + way]. */
     std::vector<Entry> entries_;
@@ -240,6 +304,10 @@ class Dtb
     obs::Counter rejects_;
     /** Overflow increments handed out over the DTB's lifetime. */
     obs::Counter overflowBlocks_;
+    /** Whole-buffer flushes (tenant switches in flush mode). */
+    obs::Counter flushes_;
+    /** Entries destroyed by flushes (distinct from evictions_). */
+    obs::Counter flushedEntries_;
 };
 
 } // namespace uhm

@@ -27,6 +27,14 @@ struct EntryMeta
 {
     /** DIR bit address this entry translates. */
     uint64_t tag = 0;
+    /**
+     * Address-space ID of the tenant that owns the translation. A
+     * lookup matches only entries of the cache's current ASID, so two
+     * tenants sharing one buffer (tag-and-share mode) can hold
+     * translations for the same DIR address side by side. Single-tenant
+     * machines leave every ASID 0.
+     */
+    uint32_t asid = 0;
     /** The entry holds a live translation. */
     bool valid = false;
     /** Buffer units consumed: 1 primary + overflow increments. */
@@ -62,6 +70,7 @@ struct EntryMeta
     reset()
     {
         tag = 0;
+        asid = 0;
         valid = false;
         units = 1;
         useCount = 0;

@@ -17,7 +17,7 @@ constexpr int overviewTid = 0;
 /** Track names indexed by tid (overview first). */
 constexpr const char *trackNames[] = {
     "cycle buckets", "ifu", "iu1", "iu2", "translator", "tier",
-    "sampler",
+    "sampler", "sched",
 };
 constexpr int numTracks =
     static_cast<int>(sizeof(trackNames) / sizeof(trackNames[0]));
@@ -155,6 +155,7 @@ eventKindTrackId(EventKind kind)
       case EventKind::Translate:
       case EventKind::DtbEvict:
       case EventKind::DtbReject:
+      case EventKind::DtbFlush:
         return 4; // translator
       case EventKind::TraceRecord:
       case EventKind::TraceAbort:
@@ -166,6 +167,9 @@ eventKindTrackId(EventKind kind)
         return 5; // tier
       case EventKind::Sample:
         return 6; // sampler
+      case EventKind::SchedSlice:
+      case EventKind::SchedSwitch:
+        return 7; // sched
     }
     return overviewTid;
 }

@@ -54,9 +54,9 @@ struct TimelineSpan
 /**
  * The machine unit whose track @p kind renders on: "ifu" (fetch),
  * "iu1" (decode), "iu2" (dispatch / DTB), "translator" (trap,
- * translate, DTB allocation), "tier" (recording, tier-2 compilation,
- * trace dispatch) or "sampler". Total and stable: every EventKind has
- * a track.
+ * translate, DTB allocation, flushes), "tier" (recording, tier-2
+ * compilation, trace dispatch), "sampler" or "sched" (tenant slices
+ * and switches). Total and stable: every EventKind has a track.
  */
 const char *eventKindTrack(EventKind kind);
 

@@ -26,6 +26,9 @@ eventKindName(EventKind kind)
       case EventKind::TraceEvict:      return "trace_evict";
       case EventKind::TraceInvalidate: return "trace_invalidate";
       case EventKind::Sample:          return "sample";
+      case EventKind::DtbFlush:        return "dtb_flush";
+      case EventKind::SchedSlice:      return "sched_slice";
+      case EventKind::SchedSwitch:     return "sched_switch";
     }
     return "?";
 }

@@ -42,11 +42,15 @@ enum class EventKind : uint8_t
     TraceInvalidate, ///< anchoring DTB entry evicted; addr = head
     Sample,          ///< occupancy sample taken; addr = sample index,
                      ///< arg = resident DTB entries
+    DtbFlush,        ///< whole-DTB flush; arg = entries destroyed
+    SchedSlice,      ///< tenant slice ended; addr = tenant id,
+                     ///< arg = cycles consumed
+    SchedSwitch,     ///< scheduler switched tenants; addr = tenant id
 };
 
 /** Number of distinct EventKind values. */
 inline constexpr size_t numEventKinds =
-    static_cast<size_t>(EventKind::Sample) + 1;
+    static_cast<size_t>(EventKind::SchedSwitch) + 1;
 
 /**
  * Every EventKind, in declaration order. The timeline exporter's
@@ -62,7 +66,8 @@ inline constexpr EventKind allEventKinds[numEventKinds] = {
     EventKind::TraceAbort,  EventKind::Translate2,
     EventKind::TraceEnter,  EventKind::TraceExit,
     EventKind::TraceEvict,  EventKind::TraceInvalidate,
-    EventKind::Sample,
+    EventKind::Sample,      EventKind::DtbFlush,
+    EventKind::SchedSlice,  EventKind::SchedSwitch,
 };
 
 /** Stable lowercase name of @p kind ("dtb_miss"). */

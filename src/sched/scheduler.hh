@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The tenant scheduler: time-slicing N independent guest programs over
+ * one universal host machine.
+ *
+ * The paper's UHM hosts one program; a real host machine is
+ * multi-programmed, and the interesting question is what happens to
+ * the dynamic translation buffer when several working sets compete for
+ * it. The scheduler runs one Machine per tenant, all dispatching
+ * through ONE shared DTB (Machine's shared-DTB constructor), and
+ * interleaves bounded slices (Machine::beginRun/runSlice/finishRun):
+ *
+ *  - RoundRobin: one quantum per tenant, in tenant order.
+ *  - Priority:   weighted round-robin — a tenant with priority p keeps
+ *                the machine for p consecutive quanta.
+ *  - MissFeedback: round-robin, but a tenant whose previous slice
+ *                missed heavily in the DTB (its working set was cold —
+ *                it just paid the translation storm) gets a stretched
+ *                quantum to amortize it: >= 1/4 miss rate doubles
+ *                twice, >= 1/8 doubles once. Deterministic: integer
+ *                thresholds on the slice's own hit/miss deltas.
+ *
+ * Tenant isolation in the shared DTB uses EntryMeta::asid:
+ *
+ *  - FlushOnSwitch: the buffer is flushed through the eviction path on
+ *    every tenant switch (Machine::flushDtb — residencies drained,
+ *    anchored traces invalidated). Every tenant starts its slice cold.
+ *  - TagAndShare: entries stay resident across switches and lookups
+ *    match on (tag, asid); tenants evict each other under capacity
+ *    pressure but re-entry is warm. DtbConfig::numPartitions >= 2
+ *    additionally partitions the set space so tenants cannot evict
+ *    each other at all.
+ *
+ * A scheduler run is single-threaded and integer-deterministic: the
+ * same config and tenants produce byte-identical results regardless of
+ * what else the process runs (bench_multitenant fans grid points over
+ * worker threads and relies on this).
+ */
+
+#ifndef UHM_SCHED_SCHEDULER_HH
+#define UHM_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dir/encoding.hh"
+#include "dir/program.hh"
+#include "obs/trace.hh"
+#include "uhm/machine.hh"
+
+namespace uhm::sched
+{
+
+/** How the scheduler picks the next tenant. */
+enum class Policy : uint8_t
+{
+    RoundRobin,   ///< one quantum each, in tenant order
+    Priority,     ///< weighted: priority p = p consecutive quanta
+    MissFeedback, ///< round-robin with miss-rate-stretched quanta
+};
+
+/** Printable name of @p policy ("rr", "prio", "feedback"). */
+const char *policyName(Policy policy);
+
+/** Parse a policy name; @return false when @p name is unknown. */
+bool parsePolicy(const std::string &name, Policy &out);
+
+/** What happens to the shared DTB on a tenant switch. */
+enum class SwitchMode : uint8_t
+{
+    FlushOnSwitch, ///< flush the buffer; every slice starts cold
+    TagAndShare,   ///< entries persist, tagged by ASID
+};
+
+/** Printable name of @p mode ("flush", "tag"). */
+const char *switchModeName(SwitchMode mode);
+
+/** Parse a switch-mode name; @return false when unknown. */
+bool parseSwitchMode(const std::string &name, SwitchMode &out);
+
+/** One guest program and its scheduling parameters. */
+struct TenantSpec
+{
+    /** Display name ("qsort", "tenant3", ...). */
+    std::string name;
+    DirProgram program;
+    std::vector<int64_t> input;
+    /**
+     * Consecutive quanta under Policy::Priority (>= 1; other policies
+     * ignore it).
+     */
+    uint32_t priority = 1;
+};
+
+/** Scheduler-level configuration. */
+struct SchedConfig
+{
+    Policy policy = Policy::RoundRobin;
+    SwitchMode switchMode = SwitchMode::TagAndShare;
+    /** Nominal slice length in machine cycles (>= 1). */
+    uint64_t quantumCycles = 5000;
+    /** DIR encoding all tenants are encoded with. */
+    EncodingScheme scheme = EncodingScheme::Huffman;
+    /**
+     * Per-tenant machine template. kind must be Dtb or Tiered (the
+     * organizations that dispatch through a DTB); the dtb member
+     * configures the one shared buffer (numPartitions >= 2 gives each
+     * tenant a private region of it).
+     */
+    MachineConfig machine;
+    /**
+     * Record scheduler events (sched_switch, sched_slice, dtb_flush)
+     * into a bounded ring, stamped with the global cycle clock.
+     */
+    bool profileEvents = false;
+    size_t profileEventCapacity = obs::Tracer::defaultCapacity;
+};
+
+/** Everything one tenant's run produced. */
+struct TenantResult
+{
+    std::string name;
+    uint32_t asid = 0;
+    /** The tenant's full RunResult (output, cycles, histograms, ...). */
+    RunResult run;
+    /** Scheduler slices this tenant received. */
+    uint64_t slices = 0;
+    /** Global cycle at which the tenant reached HALT. */
+    uint64_t finishedAtCycle = 0;
+    /** Shared-DTB hits/misses attributed to this tenant's slices. */
+    uint64_t dtbHits = 0;
+    uint64_t dtbMisses = 0;
+    /**
+     * Per-slice CPI in milli-cycles per DIR instruction
+     * (cycles * 1000 / instructions, integer); slices that retired no
+     * instruction are skipped. Feeds the dispatch-latency percentiles.
+     */
+    std::vector<uint64_t> sliceCpiMilli;
+
+    /** This tenant's DTB miss rate (misses / lookups); 0 if none. */
+    double
+    missRate() const
+    {
+        uint64_t total = dtbHits + dtbMisses;
+        return total == 0 ? 0.0 :
+            static_cast<double>(dtbMisses) / static_cast<double>(total);
+    }
+
+    /** p50 of sliceCpiMilli (0 when empty). */
+    uint64_t cpiP50() const { return cpiPercentile(50); }
+
+    /** p99 of sliceCpiMilli (0 when empty). */
+    uint64_t cpiP99() const { return cpiPercentile(99); }
+
+    /** Nearest-rank percentile of sliceCpiMilli (0 when empty). */
+    uint64_t cpiPercentile(unsigned pct) const;
+};
+
+/** Result of one multi-tenant scheduler run. */
+struct SchedResult
+{
+    /** Global cycles: sum of every slice of every tenant. */
+    uint64_t totalCycles = 0;
+    /** Tenant-to-tenant transitions. */
+    uint64_t switches = 0;
+    /** Whole-DTB flushes (FlushOnSwitch switches). */
+    uint64_t flushes = 0;
+    /** Entries destroyed by those flushes. */
+    uint64_t flushedEntries = 0;
+    /** Per-tenant results, in tenant (ASID) order. */
+    std::vector<TenantResult> tenants;
+    /**
+     * Merged counter map: "sched.*" (switches, flushes, total_cycles),
+     * the shared DTB's "dtb.*", and per-tenant "tenant.NNNN.*"
+     * (cycles, dir_instrs, slices, dtb_hits, dtb_misses) — zero-padded
+     * so lexical order is tenant order. Deterministic contents.
+     */
+    std::map<std::string, uint64_t> counters;
+    /** Per-tenant histograms, namespaced "tenant.NNNN.<name>". */
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+    /** Scheduler events on the global clock (when profileEvents). */
+    std::vector<obs::Event> events;
+    uint64_t eventsSeen = 0;
+    uint64_t eventsDropped = 0;
+    /** Cycle buckets summed across tenants (timeline overview). */
+    CycleBreakdown breakdown;
+};
+
+/**
+ * The scheduler itself. Owns the shared DTB, the encoded images and
+ * one Machine per tenant; run() executes every tenant to HALT under
+ * the configured policy.
+ */
+class Scheduler
+{
+  public:
+    /** Tenant i runs under ASID i. At least one tenant. */
+    Scheduler(const SchedConfig &config,
+              std::vector<TenantSpec> tenants);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Run every tenant to completion. Call once per Scheduler. */
+    SchedResult run();
+
+    /** The shared DTB (live view). */
+    const Dtb &dtb() const { return dtb_; }
+
+    const SchedConfig &config() const { return config_; }
+
+  private:
+    /** Per-tenant scheduling state. */
+    struct TenantState
+    {
+        bool finished = false;
+        /** Remaining consecutive quanta (Policy::Priority). */
+        uint32_t quantaLeft = 0;
+        /** Hit/miss deltas of the previous slice (MissFeedback). */
+        uint64_t lastSliceHits = 0;
+        uint64_t lastSliceMisses = 0;
+        bool ranBefore = false;
+    };
+
+    /** Next runnable tenant after @p current (npos = first pick). */
+    size_t pickNext(size_t current);
+
+    /** Effective quantum for @p t under the configured policy. */
+    uint64_t effectiveQuantum(size_t t) const;
+
+    SchedConfig config_;
+    std::vector<TenantSpec> specs_;
+    Dtb dtb_;
+    std::vector<std::unique_ptr<EncodedDir>> images_;
+    std::vector<std::unique_ptr<Machine>> machines_;
+    std::vector<TenantState> state_;
+    obs::Tracer tracer_;
+    bool ran_ = false;
+};
+
+/** Convenience: construct a Scheduler and run it. */
+SchedResult runScheduled(const SchedConfig &config,
+                         std::vector<TenantSpec> tenants);
+
+} // namespace uhm::sched
+
+#endif // UHM_SCHED_SCHEDULER_HH

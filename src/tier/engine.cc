@@ -214,9 +214,19 @@ TierEngine::installTranslation(uint64_t dir_addr,
 {
     InstallResult r;
     r.dtb = dtb_->insert(dir_addr, std::move(code), now);
-    if (r.dtb.evicted)
+    // Only a victim of our own address space can anchor a trace in
+    // *this* engine's cache. A cross-tenant victim (shared-DTB mode)
+    // may carry the same tag as one of our live, still-anchored traces
+    // — invalidating by tag alone would destroy it.
+    if (r.dtb.evicted && r.dtb.victimAsid == dtb_->asid())
         r.invalidatedTrace = cache_.invalidate(r.dtb.victimTag);
     return r;
+}
+
+bool
+TierEngine::invalidateTrace(uint64_t head)
+{
+    return cache_.invalidate(head);
 }
 
 const Trace *
@@ -245,12 +255,18 @@ void
 TierEngine::reset()
 {
     cache_.invalidateAll();
-    cache_.resetStats();
     recording_ = false;
     head_ = 0;
     pcs_.clear();
     succs_.clear();
     attempts_.clear();
+    resetStats();
+}
+
+void
+TierEngine::resetStats()
+{
+    cache_.resetStats();
     recorded_.reset();
     installed_.reset();
     aborted_.reset();

@@ -152,6 +152,14 @@ class TierEngine
      */
     const Trace *lookupTrace(uint64_t head);
 
+    /**
+     * Invalidate the trace anchored at @p head without touching the
+     * DTB — the flush path: the anchoring DTB entry is already gone,
+     * so only the orphaned trace needs destroying. @return true when a
+     * trace was removed.
+     */
+    bool invalidateTrace(uint64_t head);
+
     TraceCache &cache() { return cache_; }
     const TraceCache &cache() const { return cache_; }
     const TierConfig &config() const { return config_; }
@@ -173,6 +181,13 @@ class TierEngine
 
     /** Drop all traces, recording state, blacklist and counters. */
     void reset();
+
+    /**
+     * Reset the engine's and the trace cache's counters only. Resident
+     * traces, the blacklist and any active recording survive — the
+     * counterpart of Dtb::resetStats for a mid-run stats epoch.
+     */
+    void resetStats();
 
   private:
     RecordOutcome closeRecording(bool loops, uint64_t exit_addr);

@@ -49,7 +49,7 @@ TraceCache::findEntry(uint64_t head)
     Entry *set_entries = &entries_[set * assoc_];
     for (unsigned way = 0; way < assoc_; ++way) {
         Entry &e = set_entries[way];
-        if (e.meta.valid && e.meta.tag == head)
+        if (e.meta.valid && e.meta.tag == head && e.meta.asid == asid_)
             return &e;
     }
     return nullptr;
@@ -62,7 +62,8 @@ TraceCache::lookup(uint64_t head)
     Entry *set_entries = &entries_[set * assoc_];
     for (unsigned way = 0; way < assoc_; ++way) {
         Entry &e = set_entries[way];
-        if (e.meta.valid && e.meta.tag == head) {
+        if (e.meta.valid && e.meta.tag == head &&
+            e.meta.asid == asid_) {
             repl_[set].touch(way);
             ++hits_;
             ++e.meta.useCount;
@@ -112,7 +113,8 @@ TraceCache::insert(Trace trace)
     unsigned way = assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
         if (set_entries[w].meta.valid &&
-            set_entries[w].meta.tag == trace.head) {
+            set_entries[w].meta.tag == trace.head &&
+            set_entries[w].meta.asid == asid_) {
             way = w;
             break;
         }
@@ -153,6 +155,7 @@ TraceCache::insert(Trace trace)
     Entry &e = set_entries[way];
     e.meta.reset();
     e.meta.tag = trace.head;
+    e.meta.asid = asid_;
     e.meta.valid = true;
     e.meta.units = units_needed;
     e.trace = std::move(trace);
@@ -214,6 +217,14 @@ TraceCache::resetStats()
     evictions_.reset();
     rejects_.reset();
     invalidations_.reset();
+    // Same epoch rule as Dtb::resetStats: per-entry observability state
+    // restarts, resident traces (and their unit footprint) survive.
+    for (Entry &e : entries_) {
+        if (e.meta.valid) {
+            e.meta.useCount = 0;
+            e.meta.insertCycle = 0;
+        }
+    }
 }
 
 } // namespace uhm::tier

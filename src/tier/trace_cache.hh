@@ -93,6 +93,16 @@ class TraceCache
     /** Remove every trace (program image replaced / machine reset). */
     void invalidateAll();
 
+    /**
+     * Select the address space subsequent lookups, inserts and
+     * invalidations run in (mirrors Dtb::setAsid; EntryMeta::asid is
+     * the shared tag-extension). Single-tenant machines leave it 0.
+     */
+    void setAsid(uint32_t asid) { asid_ = asid; }
+
+    /** The current address-space ID. */
+    uint32_t asid() const { return asid_; }
+
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }
 
@@ -149,6 +159,8 @@ class TraceCache
     unsigned assoc_;
     uint64_t unitsTotal_;
     uint64_t unitsUsed_ = 0;
+    /** Current address-space ID (0 for single-tenant machines). */
+    uint32_t asid_ = 0;
     Rng rng_;
     /** entries_[set * assoc_ + way]. */
     std::vector<Entry> entries_;

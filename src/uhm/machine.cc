@@ -21,21 +21,39 @@ machineKindName(MachineKind kind)
     return "?";
 }
 
-Machine::Machine(const EncodedDir &image, const MachineConfig &config)
+Machine::Machine(const EncodedDir &image, const MachineConfig &config,
+                 Dtb *shared_dtb)
     : image_(&image), config_(config), routines_(config.layout),
       mem_(config.layout.level1Words, config.timing), translator_(image),
       decodeMemo_(image), stagingValid_(image.numInstrs(), 0),
       stagingMemo_(image.numInstrs())
 {
+    if (shared_dtb && config_.kind != MachineKind::Dtb &&
+        config_.kind != MachineKind::Tiered) {
+        fatal("machine kind '%s' cannot dispatch through a shared DTB",
+              machineKindName(config_.kind));
+    }
     switch (config_.kind) {
       case MachineKind::Dtb2:
         dtbL1_ = std::make_unique<Dtb>(config_.dtbL1);
         [[fallthrough]];
       case MachineKind::Dtb:
-        dtb_ = std::make_unique<Dtb>(config_.dtb);
+        if (shared_dtb) {
+            dtb_ = shared_dtb;
+            sharedDtb_ = true;
+        } else {
+            ownedDtb_ = std::make_unique<Dtb>(config_.dtb);
+            dtb_ = ownedDtb_.get();
+        }
         break;
       case MachineKind::Tiered:
-        dtb_ = std::make_unique<Dtb>(config_.dtb);
+        if (shared_dtb) {
+            dtb_ = shared_dtb;
+            sharedDtb_ = true;
+        } else {
+            ownedDtb_ = std::make_unique<Dtb>(config_.dtb);
+            dtb_ = ownedDtb_.get();
+        }
         tier_ = std::make_unique<tier::TierEngine>(
             image, *dtb_, config_.tier, config_.traceCache);
         break;
@@ -64,7 +82,11 @@ Machine::Machine(const EncodedDir &image, const MachineConfig &config)
     registry_.add("translate.short_emitted", translateShortEmitted_);
     mem_.registerCounters(registry_, "mem");
     if (dtb_) {
-        dtb_->registerCounters(registry_, "dtb");
+        // A shared DTB's counters are pooled across tenants — they are
+        // not this machine's to publish. The histograms below are
+        // per-machine members and always register.
+        if (!sharedDtb_)
+            dtb_->registerCounters(registry_, "dtb");
         registry_.addHistogram("translate.latency_cycles",
                                translateLatency_);
         registry_.addHistogram("dtb.residency_cycles", dtbResidency_);
@@ -296,7 +318,7 @@ void
 Machine::runConventionalOrCached()
 {
     bool cached = config_.kind == MachineKind::Cached;
-    while (!halted_) {
+    while (!halted_ && breakdown_.total() < sliceLimit_) {
         maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
@@ -439,7 +461,7 @@ void
 Machine::runDtb()
 {
     bool two_level = config_.kind == MachineKind::Dtb2;
-    while (!halted_) {
+    while (!halted_ && breakdown_.total() < sliceLimit_) {
         maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
@@ -514,7 +536,8 @@ Machine::runDtb()
             emitEvent(obs::EventKind::Translate, pc_, tr.code.size());
 
             Dtb::InsertOutcome ins =
-                dtb_->insert(pc_, tr.code, breakdown_.total());
+                dtb_->insert(pc_, tr.code,
+                             cycleBase_ + breakdown_.total());
             translateLatency_.record(breakdown_.total() - miss_start);
             if (ins.evicted) {
                 dtbResidency_.record(ins.victimResidency);
@@ -550,7 +573,7 @@ Machine::runDtb()
 void
 Machine::runTiered()
 {
-    while (!halted_) {
+    while (!halted_ && breakdown_.total() < sliceLimit_) {
         maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
@@ -644,8 +667,8 @@ Machine::runTiered()
             emitEvent(obs::EventKind::Translate, pc_, tr.code.size());
 
             tier::TierEngine::InstallResult ins =
-                tier_->installTranslation(pc_, tr.code,
-                                          breakdown_.total());
+                tier_->installTranslation(
+                    pc_, tr.code, cycleBase_ + breakdown_.total());
             translateLatency_.record(breakdown_.total() - miss_start);
             if (ins.dtb.evicted) {
                 dtbResidency_.record(ins.dtb.victimResidency);
@@ -708,8 +731,8 @@ Machine::takeSample()
     nextSampleAt_ = (now / sampleEvery_ + 1) * sampleEvery_;
 }
 
-RunResult
-Machine::run(const std::vector<int64_t> &input)
+void
+Machine::beginRun(std::vector<int64_t> input)
 {
     const DirProgram &prog = image_->program();
     const MachineLayout &layout = config_.layout;
@@ -719,9 +742,12 @@ Machine::run(const std::vector<int64_t> &input)
     sp_ = 0;
     ras_.clear();
     output_.clear();
-    input_ = &input;
+    inputStorage_ = std::move(input);
+    input_ = &inputStorage_;
     inputPos_ = 0;
     halted_ = false;
+    sliceLimit_ = UINT64_MAX;
+    cycleBase_ = 0;
     breakdown_ = CycleBreakdown{};
     dirInstrs_.reset();
     decodedInstrs_.reset();
@@ -756,7 +782,7 @@ Machine::run(const std::vector<int64_t> &input)
     addressTrace_.clear();
     opcodeCounts_.assign(numOps, 0);
     mem_.resetStats();
-    if (dtb_) {
+    if (dtb_ && !sharedDtb_) {
         dtb_->invalidateAll();
         dtb_->resetStats();
     }
@@ -782,6 +808,16 @@ Machine::run(const std::vector<int64_t> &input)
     regs_[regFsp] = static_cast<int64_t>(globals_base + prog.numGlobals);
 
     pc_ = image_->entryBitAddr();
+}
+
+uint64_t
+Machine::runSlice(uint64_t max_cycles)
+{
+    if (halted_)
+        return 0;
+    uint64_t start = breakdown_.total();
+    sliceLimit_ = max_cycles > UINT64_MAX - start ? UINT64_MAX :
+        start + max_cycles;
 
     if (config_.kind == MachineKind::Tiered) {
         runTiered();
@@ -790,6 +826,45 @@ Machine::run(const std::vector<int64_t> &input)
         runDtb();
     } else {
         runConventionalOrCached();
+    }
+    return breakdown_.total() - start;
+}
+
+void
+Machine::flushDtb()
+{
+    if (!dtb_)
+        return;
+    uint64_t now = cycleBase_ + breakdown_.total();
+    std::vector<Dtb::FlushedEntry> victims = dtb_->flush(now);
+    for (const Dtb::FlushedEntry &v : victims) {
+        // Cross-tenant victims (possible when flushing a shared buffer
+        // in tag-and-share use) belong to other machines' histograms
+        // and engines; only our own feed ours.
+        if (v.asid != dtb_->asid())
+            continue;
+        dtbResidency_.record(v.residency);
+        if (v.anchoredTrace && tier_)
+            tier_->invalidateTrace(v.tag);
+    }
+    if (dtbL1_)
+        dtbL1_->flush(now);
+    emitEvent(obs::EventKind::DtbFlush, pc_, victims.size());
+}
+
+RunResult
+Machine::finishRun()
+{
+    uhm_assert(halted_, "finishRun before HALT");
+    // Drain residual residencies: entries still resident at halt never
+    // reached the eviction path, and their lifetimes must show up in
+    // the histogram too (they are the long ones).
+    if (dtb_) {
+        uint64_t now = cycleBase_ + breakdown_.total();
+        for (uint64_t r : dtb_->residentResidencies(
+                 now, sharedDtb_ ?
+                     static_cast<int64_t>(dtb_->asid()) : -1))
+            dtbResidency_.record(r);
     }
 
     RunResult result;
@@ -859,6 +934,14 @@ Machine::run(const std::vector<int64_t> &input)
         static_cast<double>(breakdown_.translate) /
         static_cast<double>(translatedInstrs_);
     return result;
+}
+
+RunResult
+Machine::run(const std::vector<int64_t> &input)
+{
+    beginRun(input);
+    runSlice(UINT64_MAX);
+    return finishRun();
 }
 
 RunResult

@@ -250,8 +250,17 @@ class Machine
      * @param image the encoded static representation (must outlive the
      *              machine)
      * @param config machine organization and parameters
+     * @param shared_dtb a DTB owned by someone else (the tenant
+     *              scheduler) that this machine dispatches through
+     *              instead of building its own. Only the Dtb and Tiered
+     *              kinds accept one. The machine never invalidates or
+     *              stat-resets a shared DTB (its owner controls the
+     *              lifecycle) and does not publish its counters into
+     *              the machine registry (they are not this machine's
+     *              alone). Null = private DTB, exactly as before.
      */
-    Machine(const EncodedDir &image, const MachineConfig &config);
+    Machine(const EncodedDir &image, const MachineConfig &config,
+            Dtb *shared_dtb = nullptr);
     ~Machine();
 
     Machine(const Machine &) = delete;
@@ -260,8 +269,64 @@ class Machine
     /** Execute the program to HALT. */
     RunResult run(const std::vector<int64_t> &input = {});
 
+    // ---- sliced execution (the tenant scheduler's interface) -------------
+    //
+    // run() is exactly beginRun() + one unbounded runSlice() +
+    // finishRun(); a scheduler interleaves bounded slices of several
+    // machines instead.
+
+    /** Reset machine state and load the program; no cycles execute. */
+    void beginRun(std::vector<int64_t> input = {});
+
+    /**
+     * Execute until HALT or until at least @p max_cycles more cycles
+     * have been consumed, whichever comes first. The bound is soft:
+     * the slice ends at the first dispatch-loop boundary at or past
+     * it (a trace iteration or long semantic routine may overshoot).
+     * @return cycles actually consumed. 0 when already halted.
+     */
+    uint64_t runSlice(uint64_t max_cycles);
+
+    /** The program has reached HALT. */
+    bool finished() const { return halted_; }
+
+    /**
+     * Drain end-of-run observability (residual DTB residencies) and
+     * assemble the RunResult. Call once, after finished().
+     */
+    RunResult finishRun();
+
+    /**
+     * Flush the DTB (and the first-level buffer, if any) through the
+     * eviction path: victim residencies are recorded into the
+     * residency histogram and victims that anchored a tier-2 trace
+     * have that trace invalidated — the flush-on-switch path, also
+     * exposed to tests. No-op for kinds without a DTB. Only victims of
+     * this machine's own ASID feed the histogram and the trace
+     * invalidation (a cross-tenant victim's trace lives in another
+     * machine's engine).
+     */
+    void flushDtb();
+
+    /**
+     * Global-cycle offset for DTB residency stamps. A scheduler sets
+     * it before each slice (global cycles minus this machine's own) so
+     * insert/evict stamps of all tenants share one clock; standalone
+     * runs leave it 0 and nothing changes.
+     */
+    void setCycleBase(uint64_t base) { cycleBase_ = base; }
+
+    /** Cycles consumed so far in the current run. */
+    uint64_t cyclesSoFar() const { return breakdown_.total(); }
+
+    /** DIR instructions interpreted so far in the current run. */
+    uint64_t dirInstrsSoFar() const { return dirInstrs_.value(); }
+
+    /** Cycle breakdown so far (live view; for scheduler phase sums). */
+    const CycleBreakdown &breakdownSoFar() const { return breakdown_; }
+
     /** The DTB (Dtb/Dtb2/Tiered kinds; null otherwise). */
-    const Dtb *dtb() const { return dtb_.get(); }
+    const Dtb *dtb() const { return dtb_; }
 
     /** The tier engine (Tiered kind only; null otherwise). */
     const tier::TierEngine *tier() const { return tier_.get(); }
@@ -364,7 +429,12 @@ class Machine
     MachineConfig config_;
     RoutineLibrary routines_;
     MainMemory mem_;
-    std::unique_ptr<Dtb> dtb_;
+    /** The DTB this machine dispatches through: ownedDtb_ or a shared
+     *  one injected at construction. */
+    Dtb *dtb_ = nullptr;
+    std::unique_ptr<Dtb> ownedDtb_;
+    /** dtb_ is injected — never invalidate/reset it here. */
+    bool sharedDtb_ = false;
     std::unique_ptr<Dtb> dtbL1_;
     std::unique_ptr<SetAssocCache> icache_;
     std::unique_ptr<tier::TierEngine> tier_;
@@ -388,8 +458,13 @@ class Machine
     /** Previously interpreted DIR address (backedge detection). */
     uint64_t prevPc_ = 0;
     bool halted_ = false;
+    /** Dispatch loops stop once breakdown_.total() reaches this. */
+    uint64_t sliceLimit_ = UINT64_MAX;
+    /** Global-cycle offset added to DTB residency stamps. */
+    uint64_t cycleBase_ = 0;
 
     // I/O.
+    std::vector<int64_t> inputStorage_;
     const std::vector<int64_t> *input_ = nullptr;
     size_t inputPos_ = 0;
     std::vector<int64_t> output_;

@@ -299,7 +299,7 @@ TEST(ObsTimeline, EveryKindHasATrack)
         tracks.insert(track);
         int tid = obs::eventKindTrackId(kind);
         EXPECT_GT(tid, 0); // tid 0 is the cycle-bucket overview
-        EXPECT_LE(tid, 6);
+        EXPECT_LE(tid, 7);
     }
     // The unit mapping: fetch on the IFU, decode on IU1, dispatch on
     // IU2, translation on the translator, tiering on the tier engine.
@@ -581,8 +581,12 @@ TEST(ObsMachine, HistogramsFollowTheMissPath)
     EXPECT_EQ(lat.count, r.counters.at("dtb.misses"));
     EXPECT_GT(lat.min, 0u);
     EXPECT_GE(lat.max, lat.min);
-    // Residency/occupancy are recorded once per eviction.
+    // Occupancy is recorded once per eviction; residency additionally
+    // drains the entries still resident at HALT, so every insert
+    // eventually lands exactly one residency observation.
     EXPECT_EQ(r.histograms.at("dtb.residency_cycles").count,
+              r.counters.at("dtb.inserts"));
+    EXPECT_GE(r.histograms.at("dtb.residency_cycles").count,
               r.histograms.at("dtb.evict_set_occupancy").count);
 
     // No DTB, no DTB histograms.
