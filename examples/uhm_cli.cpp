@@ -34,6 +34,14 @@
  *
  * Options:
  *   --machine=<conventional|cached|dtb|dtb2|tiered>  (default dtb)
+ *   --dispatch=<switch|threaded>  host interpreter loop (default
+ *                          switch). "threaded" runs the fast mode:
+ *                          direct-threaded dispatch over flattened run
+ *                          images with inline caches and batched cycle
+ *                          attribution. Simulated cycles and all
+ *                          outputs are byte-identical either way; the
+ *                          switch loop is the reference path. Accepted
+ *                          by sweep too.
  *   --encoding=<expanded|packed|contextual|huffman|pair-huffman|
  *               quantized>                      (default huffman)
  *   --decode=<tree|table>  host-side Huffman decode implementation
@@ -112,6 +120,7 @@ struct Options
 {
     std::string program = "qsort";
     uhm::MachineKind kind = uhm::MachineKind::Dtb;
+    uhm::DispatchMode dispatch = uhm::DispatchMode::Switch;
     uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
     std::vector<int64_t> input;
     uint64_t dtbBytes = 4096;
@@ -164,10 +173,26 @@ parseMachine(const std::string &name)
     uhm::fatal("unknown machine kind '%s'", name.c_str());
 }
 
+uhm::DispatchMode
+parseDispatch(const std::string &name)
+{
+    uhm::DispatchMode mode;
+    if (!uhm::parseDispatchMode(name, mode))
+        uhm::fatal("unknown dispatch mode '%s' (switch|threaded)",
+                   name.c_str());
+    return mode;
+}
+
 /** Shared help text for the options both subcommands accept. */
 constexpr const char *commonOptionsHelp =
     "  --machine=<conventional|cached|dtb|dtb2|tiered>\n"
     "                         machine organization (default dtb)\n"
+    "  --dispatch=<switch|threaded>\n"
+    "                         host interpreter loop (default switch).\n"
+    "                         threaded = direct-threaded dispatch over\n"
+    "                         flattened run images with inline caches;\n"
+    "                         simulated cycles and all outputs are\n"
+    "                         byte-identical either way\n"
     "  --encoding=<expanded|packed|contextual|huffman|pair-huffman|\n"
     "              quantized> DIR encoding (default huffman)\n"
     "  --decode=<tree|table>  host-side Huffman decode (default table)\n"
@@ -286,6 +311,8 @@ parseArgs(int argc, char **argv)
         };
         if (arg.rfind("--machine=", 0) == 0)
             opts.kind = parseMachine(value("--machine="));
+        else if (arg.rfind("--dispatch=", 0) == 0)
+            opts.dispatch = parseDispatch(value("--dispatch="));
         else if (arg.rfind("--encoding=", 0) == 0)
             opts.scheme = parseEncoding(value("--encoding="));
         else if (arg.rfind("--decode=", 0) == 0)
@@ -412,6 +439,7 @@ runSweepCommand(int argc, char **argv)
     uint64_t seed = 1978;
     uint64_t sample_interval = 0;
     uhm::MachineKind kind = uhm::MachineKind::Dtb;
+    uhm::DispatchMode dispatch = uhm::DispatchMode::Switch;
     uhm::EncodingScheme scheme = uhm::EncodingScheme::Huffman;
     uhm::tier::TierConfig tier_cfg;
     uhm::tier::TraceCacheConfig trace_cache_cfg;
@@ -430,6 +458,8 @@ runSweepCommand(int argc, char **argv)
             seed = std::stoull(value("--seed="));
         else if (arg.rfind("--machine=", 0) == 0)
             kind = parseMachine(value("--machine="));
+        else if (arg.rfind("--dispatch=", 0) == 0)
+            dispatch = parseDispatch(value("--dispatch="));
         else if (arg.rfind("--encoding=", 0) == 0)
             scheme = parseEncoding(value("--encoding="));
         else if (arg.rfind("--decode=", 0) == 0)
@@ -482,6 +512,7 @@ runSweepCommand(int argc, char **argv)
         }
         point.scheme = scheme;
         point.config.kind = kind;
+        point.config.dispatch = dispatch;
         point.config.tier = tier_cfg;
         point.config.traceCache = trace_cache_cfg;
         point.config.sampleIntervalCycles = sample_interval;
@@ -689,6 +720,7 @@ try {
     auto image = uhm::encodeDir(prog, opts.scheme);
     uhm::MachineConfig cfg;
     cfg.kind = opts.kind;
+    cfg.dispatch = opts.dispatch;
     cfg.dtb.capacityBytes = opts.dtbBytes;
     cfg.dtb.assoc = opts.assoc;
     cfg.icache.capacityBytes = opts.dtbBytes;

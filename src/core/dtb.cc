@@ -77,7 +77,8 @@ Dtb::lookup(uint64_t dir_addr)
             repl_[set].touch(way);
             ++hits_;
             ++e.meta.useCount;
-            return {true, &e.code, e.meta.units, &e.meta};
+            return {true, &e.code, e.meta.units, &e.meta,
+                    static_cast<uint32_t>(set * assoc_ + way)};
         }
     }
     ++misses_;

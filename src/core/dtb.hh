@@ -89,6 +89,12 @@ class Dtb
          * backedge counter it keeps there.
          */
         EntryMeta *meta = nullptr;
+        /**
+         * Index of the hit entry in the address array (hit only):
+         * set * assoc + way. The fast dispatch path stores it in a
+         * per-site inline cache and revalidates with icCheck().
+         */
+        uint32_t entryIdx = 0;
     };
 
     /**
@@ -199,6 +205,78 @@ class Dtb
 
     /** The set index @p dir_addr hashes to. */
     uint64_t setOf(uint64_t dir_addr) const;
+
+    // ---- inline-cache fast-hit interface ---------------------------------
+    //
+    // A dispatch-loop call site that resolved @p dir_addr through
+    // lookup() once may cache the returned entryIdx and on later visits
+    // skip the hash and way scan: icCheck() revalidates the cached
+    // index with zero accounting side effects, and hitAt() then applies
+    // exactly the accounting the hit branch of lookup() would have
+    // (recency touch, hit count, use count). Any entry replacement
+    // invalidates the cached index naturally — the tag or ASID no
+    // longer matches — and EntryMeta::gen invalidates derived state.
+
+    /**
+     * Would a lookup of @p dir_addr hit entry @p idx right now? Pure
+     * predicate: no hit/miss counting, no recency update.
+     */
+    bool
+    icCheck(uint32_t idx, uint64_t dir_addr) const
+    {
+        const Entry &e = entries_[idx];
+        return e.meta.valid && e.meta.tag == dir_addr &&
+            e.meta.asid == asid_;
+    }
+
+    /**
+     * Entry index a lookup() of @p dir_addr would hit right now, or
+     * UINT32_MAX on a miss. Pure probe: no hit/miss counting, no
+     * recency update — the caller commits a hit with hitAt(), or lets
+     * the regular miss path count the miss.
+     */
+    uint32_t
+    probeIdx(uint64_t dir_addr) const
+    {
+        uint64_t set = setOf(dir_addr);
+        const Entry *set_entries = &entries_[set * assoc_];
+        for (unsigned way = 0; way < assoc_; ++way) {
+            const Entry &e = set_entries[way];
+            if (e.meta.valid && e.meta.tag == dir_addr &&
+                e.meta.asid == asid_)
+                return static_cast<uint32_t>(set * assoc_ + way);
+        }
+        return UINT32_MAX;
+    }
+
+    /**
+     * Apply the hit-path accounting of lookup() to entry @p idx (which
+     * the caller just validated with icCheck): recency touch, one hit,
+     * one use. Byte-identical counter and replacement state to a full
+     * lookup() that hit.
+     */
+    void
+    hitAt(uint32_t idx)
+    {
+        repl_[idx / assoc_].touch(idx % assoc_);
+        ++hits_;
+        ++entries_[idx].meta.useCount;
+    }
+
+    /** Metadata block of entry @p idx (IC-validated callers only). */
+    EntryMeta &metaAt(uint32_t idx) { return entries_[idx].meta; }
+    const EntryMeta &
+    metaAt(uint32_t idx) const
+    {
+        return entries_[idx].meta;
+    }
+
+    /** Resident translation of entry @p idx (IC-validated callers). */
+    const std::vector<ShortInstr> &
+    codeAt(uint32_t idx) const
+    {
+        return entries_[idx].code;
+    }
 
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }

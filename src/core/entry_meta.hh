@@ -64,6 +64,17 @@ struct EntryMeta
      * source leave it 0 (their residency is then not meaningful).
      */
     uint64_t insertCycle = 0;
+    /**
+     * Content generation: bumped every time the entry's contents change
+     * (reset runs on every insert, evict, flush and invalidate path, so
+     * one increment here covers them all). Hosts that cache derived
+     * state keyed by entry index — the fast dispatch path's lowered run
+     * images and inline caches (uhm/run_image.hh) — compare their
+     * recorded generation against this one and relower on mismatch.
+     * Never cleared: a fresh generation must differ from every stale
+     * copy. Simulated behavior and cycle accounting never read it.
+     */
+    uint32_t gen = 0;
 
     /** Return to the empty state (eviction). */
     void
@@ -77,6 +88,7 @@ struct EntryMeta
         backedgeCount = 0;
         anchorsTrace = false;
         insertCycle = 0;
+        ++gen;
     }
 };
 

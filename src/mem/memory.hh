@@ -73,6 +73,35 @@ class MainMemory
     /** True if @p addr lies in the fast level. */
     bool isLevel1(uint64_t addr) const { return addr < level1Words_; }
 
+    /** Grow the backing store to cover [0, @p words) without charging. */
+    void
+    ensure(uint64_t words)
+    {
+        if (store_.size() < words)
+            store_.resize(words, 0);
+    }
+
+    /**
+     * Raw view of the backing store for the fast dispatch loops. Only
+     * valid for addresses below a prior ensure() watermark, and
+     * invalidated by any poke/write that grows the store.
+     */
+    int64_t *raw() { return store_.data(); }
+
+    /**
+     * Charge a batch of accesses the fast dispatch path performed with
+     * peek/poke and counted locally: @p level1 tau1 accesses and
+     * @p level2 tau2 accesses. Cycle and access counters end up exactly
+     * as if each access had gone through read/write individually.
+     */
+    void
+    chargeBatch(uint64_t level1, uint64_t level2)
+    {
+        cycles_ += level1 * timing_.tau1 + level2 * timing_.tau2;
+        level1Accesses_ += level1;
+        level2Accesses_ += level2;
+    }
+
     /** Accumulated access cycles. */
     uint64_t cycles() const { return cycles_; }
 

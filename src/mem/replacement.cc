@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "support/logging.hh"
-
 namespace uhm
 {
 
@@ -20,28 +18,36 @@ replPolicyName(ReplPolicy policy)
 }
 
 ReplacementSet::ReplacementSet(unsigned ways, ReplPolicy policy, Rng *rng)
-    : policy_(policy), rng_(rng)
+    : ways_(ways), packed_(ways <= 8), policy_(policy), rng_(rng)
 {
     uhm_assert(ways >= 1, "a set needs at least one way");
     uhm_assert(policy != ReplPolicy::Random || rng,
                "random policy needs an rng");
-    order_.resize(ways);
-    std::iota(order_.begin(), order_.end(), 0);
+    if (packed_) {
+        order64_ = ~0ull;
+        for (unsigned w = 0; w < ways; ++w) {
+            order64_ &= ~(0xffull << (8 * w));
+            order64_ |= static_cast<uint64_t>(w) << (8 * w);
+        }
+    } else {
+        order_.resize(ways);
+        std::iota(order_.begin(), order_.end(), 0);
+    }
 }
 
 unsigned
 ReplacementSet::victim()
 {
     if (policy_ == ReplPolicy::Random)
-        return static_cast<unsigned>(rng_->below(order_.size()));
+        return static_cast<unsigned>(rng_->below(ways_));
+    if (packed_)
+        return static_cast<unsigned>(order64_ & 0xff);
     return order_.front();
 }
 
 void
-ReplacementSet::touch(unsigned way)
+ReplacementSet::touchSlow(unsigned way)
 {
-    if (policy_ != ReplPolicy::LRU)
-        return; // FIFO and Random ignore hits.
     auto it = std::find(order_.begin(), order_.end(), way);
     uhm_assert(it != order_.end(), "unknown way %u", way);
     order_.erase(it);
@@ -53,6 +59,15 @@ ReplacementSet::fill(unsigned way)
 {
     if (policy_ == ReplPolicy::Random)
         return;
+    if (packed_) {
+        unsigned mru = 8 * (ways_ - 1);
+        if (((order64_ >> mru) & 0xff) == way)
+            return; // already most recently used
+        order64_ = packedRemove(way);
+        order64_ = (order64_ & ~(0xffull << mru)) |
+            (static_cast<uint64_t>(way) << mru);
+        return;
+    }
     auto it = std::find(order_.begin(), order_.end(), way);
     uhm_assert(it != order_.end(), "unknown way %u", way);
     order_.erase(it);

@@ -81,6 +81,18 @@ TraceCache::find(uint64_t head) const
     return e ? &e->trace : nullptr;
 }
 
+bool
+TraceCache::refOf(uint64_t head, uint32_t &idx_out,
+                  uint32_t &gen_out) const
+{
+    const Entry *e = const_cast<TraceCache *>(this)->findEntry(head);
+    if (!e)
+        return false;
+    idx_out = static_cast<uint32_t>(e - entries_.data());
+    gen_out = e->meta.gen;
+    return true;
+}
+
 std::vector<uint32_t>
 TraceCache::setOccupancy() const
 {

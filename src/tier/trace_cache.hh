@@ -63,6 +63,16 @@ class TraceCache
     /** The resident trace for @p head, or null. No accounting. */
     const Trace *find(uint64_t head) const;
 
+    /**
+     * Locate the resident trace for @p head and report its entry index
+     * and content generation (EntryMeta::gen) so the fast dispatch path
+     * can key a lowered run image to this residency. No accounting —
+     * callers pair it with the lookup() that just hit. @return false
+     * when @p head is not resident.
+     */
+    bool refOf(uint64_t head, uint32_t &idx_out,
+               uint32_t &gen_out) const;
+
     /** What TraceCache::insert did. */
     struct InsertOutcome
     {

@@ -1,5 +1,6 @@
 #include "uhm/machine.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -19,6 +20,30 @@ machineKindName(MachineKind kind)
       case MachineKind::Tiered:       return "tiered";
     }
     return "?";
+}
+
+const char *
+dispatchModeName(DispatchMode mode)
+{
+    switch (mode) {
+      case DispatchMode::Switch:   return "switch";
+      case DispatchMode::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+bool
+parseDispatchMode(const std::string &name, DispatchMode &out)
+{
+    if (name == "switch") {
+        out = DispatchMode::Switch;
+        return true;
+    }
+    if (name == "threaded") {
+        out = DispatchMode::Threaded;
+        return true;
+    }
+    return false;
 }
 
 Machine::Machine(const EncodedDir &image, const MachineConfig &config,
@@ -63,6 +88,21 @@ Machine::Machine(const EncodedDir &image, const MachineConfig &config,
       case MachineKind::Conventional:
         break;
     }
+    flat_ = FlatRoutines::build(routines_, numOps);
+    // Both dispatch modes call semantic routines through this table —
+    // one bounds-unchecked load instead of a byId lookup per CALL.
+    routinePtrs_.resize(numOps);
+    for (size_t id = 0; id < numOps; ++id)
+        routinePtrs_[id] = &routines_.byId(static_cast<int64_t>(id));
+    // The fast loops bank on the operand stack living wholly in level-1
+    // memory (every push/pop then charges a static tau1); a layout that
+    // spills the stack into level 2 keeps the switch loops. Event
+    // tracing keeps them too: events are stamped mid-instruction, which
+    // batched attribution does not reproduce.
+    fastOk_ = config_.layout.stackBase + config_.layout.stackWords <=
+            config_.layout.level1Words &&
+        !config_.profileEvents && !config_.traceEvents;
+
     const DirProgram &prog = image.program();
     if (prog.maxDepth() > config_.layout.maxDepth) {
         fatal("program nests %u contours deep; layout supports %llu",
@@ -297,7 +337,8 @@ Machine::executeStaged(const Staging &staging)
     for (int64_t v : staging.pushes)
         pushStack(v, breakdown_.stage);
     if (staging.routine >= 0) {
-        const MicroRoutine &routine = routines_.byId(staging.routine);
+        const MicroRoutine &routine =
+            *routinePtrs_[static_cast<size_t>(staging.routine)];
         if (!routine.empty())
             runRoutine(routine);
     }
@@ -378,7 +419,11 @@ Machine::executeShort(const ShortInstr &si)
         break;
       }
       case SOp::CALL: {
-        const MicroRoutine &routine = routines_.byId(si.operand);
+        uhm_assert(si.operand >= 0 &&
+                   static_cast<size_t>(si.operand) < routinePtrs_.size(),
+                   "CALL to unknown routine id");
+        const MicroRoutine &routine =
+            *routinePtrs_[static_cast<size_t>(si.operand)];
         if (!routine.empty())
             runRoutine(routine);
         break;
@@ -461,7 +506,15 @@ void
 Machine::runDtb()
 {
     bool two_level = config_.kind == MachineKind::Dtb2;
-    while (!halted_ && breakdown_.total() < sliceLimit_) {
+    while (!halted_ && breakdown_.total() < sliceLimit_)
+        dtbStep(two_level);
+}
+
+uint32_t
+Machine::dtbStep(bool two_level)
+{
+    uint32_t hit_idx = UINT32_MAX;
+    {
         maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
@@ -491,6 +544,7 @@ Machine::runDtb()
         Dtb::LookupResult lr = dtb_->lookup(pc_);
 
         if (lr.hit) {
+            hit_idx = lr.entryIdx;
             emitEvent(obs::EventKind::DtbHit, pc_);
             if (config_.traceEvents) {
                 std::ostringstream os;
@@ -568,12 +622,21 @@ Machine::runDtb()
         else
             pc_ = next;
     }
+    return hit_idx;
 }
 
 void
 Machine::runTiered()
 {
-    while (!halted_ && breakdown_.total() < sliceLimit_) {
+    while (!halted_ && breakdown_.total() < sliceLimit_)
+        tieredStep();
+}
+
+uint32_t
+Machine::tieredStep()
+{
+    uint32_t hit_idx = UINT32_MAX;
+    {
         maybeSample();
         if (dirInstrs_ >= config_.maxDirInstrs)
             fatal("DIR instruction budget exhausted (%llu)",
@@ -608,6 +671,7 @@ Machine::runTiered()
         const std::vector<ShortInstr> *code = nullptr;
 
         if (lr.hit) {
+            hit_idx = lr.entryIdx;
             emitEvent(obs::EventKind::DtbHit, pc_);
             // Hotness profile: a backward transfer into a resident
             // entry is a backedge (loops close with one).
@@ -633,7 +697,7 @@ Machine::runTiered()
                         halted_ = true;
                     else
                         pc_ = next;
-                    continue;
+                    return hit_idx;
                 }
                 // Stale anchor (cleared by lookupTrace): fall back to
                 // the ordinary tier-1 path.
@@ -696,6 +760,795 @@ Machine::runTiered()
         else
             pc_ = next;
     }
+    return hit_idx;
+}
+
+// ---- fast-run dispatch (DispatchMode::Threaded) ----------------------------
+//
+// The loops below are host-side optimizations only: every charge they
+// batch into a Pending is the exact per-step sum the switch loops above
+// would have applied, and anything they cannot run from a lowered image
+// — misses, cold sites, active trace recording, unfastable shapes —
+// falls back to exactly one switch-path step (dtbStep/tieredStep), so
+// cold-path accounting has a single implementation.
+// Byte-identity across modes is enforced by tests/dispatch_test.cc.
+
+void
+Machine::drainPending(Pending &p)
+{
+    breakdown_.fetch += p.fetch;
+    breakdown_.decode += p.decode;
+    breakdown_.stage += p.stage;
+    breakdown_.dispatch += p.dispatch;
+    breakdown_.semantic += p.semantic;
+    dirInstrs_ += p.dirInstrs;
+    decodedInstrs_ += p.decodedInstrs;
+    shortInstrs_ += p.shortInstrs;
+    microOps_ += p.microOps;
+    dirFetchRefs_ += p.dirFetchRefs;
+    traceDirInstrs_ += p.traceDirInstrs;
+    traceShortInstrs_ += p.traceShortInstrs;
+    traceIterations_ += p.traceIterations;
+    traceExits_ += p.traceExits;
+    mem_.chargeBatch(p.level1, p.level2);
+    p = Pending{};
+}
+
+FastSeq *
+Machine::ensureSeqLowered(uint32_t idx)
+{
+    FastSeq &fs = fastSlots_[idx];
+    uint32_t gen = dtb_->metaAt(idx).gen;
+    if (fs.gen != gen) {
+        // The entry's contents changed since this slot was lowered
+        // (insert, evict or flush all bump the generation): relower,
+        // which also clears the slot's inline cache.
+        lowerFastSeq(dtb_->codeAt(idx), flat_, config_.timing.tauD,
+                     config_.timing.tau1, fs);
+        fs.gen = gen;
+    }
+    return &fs;
+}
+
+void
+Machine::runDtbFast()
+{
+    const uint32_t *vm_code = flat_.code.data();
+    const int64_t *vm_imm = flat_.imm.data();
+    const uint64_t tau1 = config_.timing.tau1;
+    const uint64_t tau2 = config_.timing.tau2;
+    const uint64_t tau_d = config_.timing.tauD;
+    const uint64_t level1_words = mem_.level1Words();
+    const uint64_t stack_base = config_.layout.stackBase;
+    const uint64_t stack_words = config_.layout.stackWords;
+    const bool capture = config_.captureAddressTrace;
+    Dtb *const dtb = dtb_;
+    auto &r = regs_;
+
+    // Pending step-level charges plus register-resident micro-op
+    // charges (n, sem_mem, l1, l2). "Now" on the switch path is
+    // breakdown_.total(); here it is drained + cyc + n*tau1 + sem_mem,
+    // where cyc mirrors p.cycles() so the loop head never has to sum
+    // the Pending buckets.
+    Pending p;
+    uint64_t drained = breakdown_.total();
+    uint64_t cyc = 0;
+    uint64_t n = 0, sem_mem = 0, l1 = 0, l2 = 0;
+    // Step-level buckets mirrored in never-address-taken locals so the
+    // per-step bumps stay in registers (p's address escapes into
+    // drainPending, so p fields would be memory RMWs).
+    uint64_t d_dir = 0, d_disp = 0, d_stage = 0, d_short = 0;
+    uint64_t sp = sp_;
+    uint64_t pc = pc_;
+    int64_t *stk = mem_.raw() + stack_base;
+    uint64_t budget_left = config_.maxDirInstrs - dirInstrs_.value();
+    uint64_t sample_at = sampleEvery_ ? nextSampleAt_ : UINT64_MAX;
+    size_t vm_i = 0, vm_ii = 0;
+    uint32_t vm_w = 0;
+    // The sequence executed last step: its inline cache predicts the
+    // DTB slot of the pc about to be looked up.
+    FastSeq *site = nullptr;
+    FastSeq *fs = nullptr;
+    uint32_t idx = 0;
+    uint64_t next = 0;
+
+#define VM_FLUSH()                                                     \
+    do {                                                               \
+        uint64_t vm_sem = n * tau1 + sem_mem;                          \
+        p.microOps += n;                                               \
+        p.semantic += vm_sem;                                          \
+        p.level1 += l1;                                                \
+        p.level2 += l2;                                                \
+        p.dirInstrs += d_dir;                                          \
+        p.dispatch += d_disp;                                          \
+        p.stage += d_stage;                                            \
+        p.shortInstrs += d_short;                                      \
+        cyc += vm_sem;                                                 \
+        n = sem_mem = l1 = l2 = 0;                                     \
+        d_dir = d_disp = d_stage = d_short = 0;                        \
+        sp_ = sp;                                                      \
+        pc_ = pc;                                                      \
+    } while (0)
+#define VM_BAIL()                                                      \
+    do {                                                               \
+        VM_FLUSH();                                                    \
+        drainPending(p);                                               \
+    } while (0)
+
+    while (!halted_) {
+        {
+            uint64_t now = drained + cyc + n * tau1 + sem_mem;
+            if (now >= sliceLimit_)
+                break;
+            if (now >= sample_at) {
+                VM_BAIL();
+                drained = breakdown_.total();
+                cyc = 0;
+                budget_left =
+                    config_.maxDirInstrs - dirInstrs_.value();
+                takeSample();
+                sample_at = nextSampleAt_;
+            }
+        }
+        if (d_dir >= budget_left) {
+            VM_BAIL();
+            fatal("DIR instruction budget exhausted (%llu)",
+                  static_cast<unsigned long long>(config_.maxDirInstrs));
+        }
+
+        // Inline-cache probe, then a full — still side-effect-free —
+        // DTB probe. Nothing is charged or counted unless the fast
+        // step commits below.
+        if (site && site->icTag == pc &&
+            dtb->icCheck(site->icIdx, pc)) {
+            idx = site->icIdx;
+        } else {
+            idx = dtb->probeIdx(pc);
+            if (idx != UINT32_MAX && site) {
+                site->icTag = pc;
+                site->icIdx = idx;
+            }
+        }
+        fs = nullptr;
+        if (idx != UINT32_MAX) {
+            fs = ensureSeqLowered(idx);
+            if (!fs->fastable || sp + fs->pushes.size() > stack_words)
+                fs = nullptr;
+        }
+        if (!fs) {
+            // True DTB miss (translation) or an unfastable shape: one
+            // full switch-path step (the lookup counts its hit or miss
+            // exactly as always), then re-prime the inline cache from
+            // its outcome so the chain re-forms.
+            VM_BAIL();
+            {
+                uint64_t lookup_pc = pc;
+                uint32_t hit = dtbStep(false);
+                if (hit != UINT32_MAX) {
+                    if (site) {
+                        site->icTag = lookup_pc;
+                        site->icIdx = hit;
+                    }
+                    site = ensureSeqLowered(hit);
+                } else {
+                    site = nullptr;
+                }
+            }
+            drained = breakdown_.total();
+            cyc = 0;
+            budget_left = config_.maxDirInstrs - dirInstrs_.value();
+            sample_at = sampleEvery_ ? nextSampleAt_ : UINT64_MAX;
+            sp = sp_;
+            pc = pc_;
+            stk = mem_.raw() + stack_base;
+            continue;
+        }
+
+        // Committed fast hit — same accounting as lookup()'s hit branch
+        // plus the sequence's statically known charges.
+        dtb->hitAt(idx);
+        ++d_dir;
+        if (capture)
+            addressTrace_.push_back(pc);
+        {
+            uint64_t add = tau_d + fs->dispatchAdd; // tau_d: the lookup
+            d_disp += add;
+            d_stage += fs->stageAdd;
+            cyc += add + fs->stageAdd;
+        }
+        l1 += fs->level1Add;
+        d_short += fs->shortCount;
+
+        {
+            const int64_t *pv = fs->pushes.data();
+            size_t np = fs->pushes.size();
+            for (size_t k = 0; k < np; ++k)
+                stk[sp + k] = pv[k];
+            sp += np;
+        }
+
+        if (fs->routineEntry >= 0) {
+            vm_i = static_cast<size_t>(fs->routineEntry);
+            goto vm_enter;
+        }
+    seq_done:
+        if (fs->stackNext) {
+            if (sp == 0) {
+                // The switch path fatals before charging the pop.
+                d_disp -= tau1;
+                cyc -= tau1;
+                --l1;
+                VM_BAIL();
+                fatal("operand stack underflow");
+            }
+            next = static_cast<uint64_t>(stk[--sp]);
+        } else {
+            next = fs->nextImm;
+        }
+        site = fs;
+        if (next == haltBitAddr)
+            halted_ = true;
+        else
+            pc = next;
+    }
+    VM_BAIL();
+    return;
+
+#define VM_DONE_GOTO goto seq_done
+#include "uhm/vm_ops.inc"
+#undef VM_DONE_GOTO
+#undef VM_BAIL
+#undef VM_FLUSH
+}
+
+uint64_t
+Machine::executeTraceFast(const FastTrace &ft, Pending &p)
+{
+    const uint32_t *vm_code = flat_.code.data();
+    const int64_t *vm_imm = flat_.imm.data();
+    const uint64_t tau1 = config_.timing.tau1;
+    const uint64_t tau2 = config_.timing.tau2;
+    const uint64_t level1_words = mem_.level1Words();
+    const uint64_t stack_base = config_.layout.stackBase;
+    const uint64_t stack_words = config_.layout.stackWords;
+    const uint64_t max_dir = config_.maxDirInstrs;
+    const bool capture = config_.captureAddressTrace;
+    const uint64_t loop_cycles = config_.tier.dispatchCycles;
+    auto &r = regs_;
+
+    uint64_t n = 0, sem_mem = 0, l1 = 0, l2 = 0;
+    uint64_t d_dir = 0, d_tdir = 0, d_disp = 0, d_stage = 0;
+    uint64_t d_short = 0, d_tshort = 0, d_iter = 0;
+    uint64_t sp = sp_;
+    int64_t *stk = mem_.raw() + stack_base;
+    const FastTraceStep *steps = ft.steps.data();
+    const size_t nsteps = ft.steps.size();
+    const FastTraceStep *stp = nullptr;
+    const FastTraceItem *itp = nullptr;
+    size_t si = 0, ki = 0, nitems = 0;
+    uint64_t next = 0;
+    size_t vm_i = 0, vm_ii = 0;
+    uint32_t vm_w = 0;
+    uint64_t dir_base = dirInstrs_.value() + p.dirInstrs;
+    uint64_t budget_left = max_dir > dir_base ? max_dir - dir_base : 0;
+
+#define VM_FLUSH()                                                     \
+    do {                                                               \
+        p.microOps += n;                                               \
+        p.semantic += n * tau1 + sem_mem;                              \
+        p.level1 += l1;                                                \
+        p.level2 += l2;                                                \
+        p.dirInstrs += d_dir;                                          \
+        p.traceDirInstrs += d_tdir;                                    \
+        p.dispatch += d_disp;                                          \
+        p.stage += d_stage;                                            \
+        p.shortInstrs += d_short;                                      \
+        p.traceShortInstrs += d_tshort;                                \
+        p.traceIterations += d_iter;                                   \
+        n = sem_mem = l1 = l2 = 0;                                     \
+        d_dir = d_tdir = d_disp = d_stage = 0;                         \
+        d_short = d_tshort = d_iter = 0;                               \
+        sp_ = sp;                                                      \
+    } while (0)
+#define VM_BAIL()                                                      \
+    do {                                                               \
+        VM_FLUSH();                                                    \
+        drainPending(p);                                               \
+    } while (0)
+
+    for (;;) {
+        ++d_iter;
+        for (si = 0; si < nsteps; ++si) {
+            stp = steps + si;
+            if (!capture && d_dir + stp->nDir <= budget_left) {
+                d_dir += stp->nDir;
+                d_tdir += stp->nDir;
+            } else {
+                // Rare: address capture, or within nDir of the budget.
+                p.dirInstrs += d_dir;
+                p.traceDirInstrs += d_tdir;
+                d_dir = d_tdir = 0;
+                for (uint64_t addr : stp->src->dirAddrs) {
+                    if (dirInstrs_.value() + p.dirInstrs >= max_dir) {
+                        VM_BAIL();
+                        fatal("DIR instruction budget exhausted "
+                              "(%llu)",
+                              static_cast<unsigned long long>(
+                                  max_dir));
+                    }
+                    ++p.dirInstrs;
+                    ++p.traceDirInstrs;
+                    if (capture)
+                        addressTrace_.push_back(addr);
+                }
+                dir_base = dirInstrs_.value() + p.dirInstrs;
+                budget_left = max_dir > dir_base ? max_dir - dir_base
+                    : 0;
+            }
+            d_disp += stp->dispatchAdd;
+            d_stage += stp->stageAdd;
+            l1 += stp->level1Add;
+            d_short += stp->nBody;
+            d_tshort += stp->nBody;
+            itp = stp->items.data();
+            nitems = stp->items.size();
+            for (ki = 0; ki < nitems; ++ki) {
+                if (itp[ki].routineEntry >= 0) {
+                    vm_i = static_cast<size_t>(itp[ki].routineEntry);
+                    goto vm_enter;
+                } else {
+                    if (sp >= stack_words) {
+                        VM_BAIL();
+                        fatal("operand stack overflow (%llu words)",
+                              static_cast<unsigned long long>(
+                                  stack_words));
+                    }
+                    stk[sp++] = itp[ki].pushValue;
+                }
+            item_done:;
+            }
+            if (stp->guarded) {
+                if (sp == 0) {
+                    VM_BAIL();
+                    fatal("operand stack underflow");
+                }
+                next = static_cast<uint64_t>(stk[--sp]);
+                if (next != stp->expect) {
+                    ++p.traceExits;
+                    prevPc_ = stp->lastAddr;
+                    VM_FLUSH();
+                    return next;
+                }
+            }
+        }
+        if (!ft.loops) {
+            ++p.traceExits;
+            prevPc_ = ft.lastAddr;
+            VM_FLUSH();
+            return ft.exitAddr;
+        }
+        d_disp += loop_cycles;
+    }
+
+#define VM_DONE_GOTO goto item_done
+#include "uhm/vm_ops.inc"
+#undef VM_DONE_GOTO
+#undef VM_BAIL
+#undef VM_FLUSH
+}
+
+void
+Machine::runTieredFast()
+{
+    const uint32_t *vm_code = flat_.code.data();
+    const int64_t *vm_imm = flat_.imm.data();
+    const uint64_t tau1 = config_.timing.tau1;
+    const uint64_t tau2 = config_.timing.tau2;
+    const uint64_t tau_d = config_.timing.tauD;
+    const uint64_t level1_words = mem_.level1Words();
+    const uint64_t stack_base = config_.layout.stackBase;
+    const uint64_t stack_words = config_.layout.stackWords;
+    const bool capture = config_.captureAddressTrace;
+    Dtb *const dtb = dtb_;
+    auto &r = regs_;
+
+    Pending p;
+    uint64_t drained = breakdown_.total();
+    uint64_t cyc = 0;
+    uint64_t n = 0, sem_mem = 0, l1 = 0, l2 = 0;
+    // Register-resident step buckets; see runDtbFast.
+    uint64_t d_dir = 0, d_disp = 0, d_stage = 0, d_short = 0;
+    uint64_t sp = sp_;
+    uint64_t pc = pc_;
+    uint64_t prev_pc = prevPc_;
+    int64_t *stk = mem_.raw() + stack_base;
+    uint64_t budget_left = config_.maxDirInstrs - dirInstrs_.value();
+    uint64_t sample_at = sampleEvery_ ? nextSampleAt_ : UINT64_MAX;
+    size_t vm_i = 0, vm_ii = 0;
+    uint32_t vm_w = 0;
+    FastSeq *site = nullptr;
+    FastSeq *fs = nullptr;
+    uint32_t idx = 0;
+    uint64_t next = 0;
+
+#define VM_FLUSH()                                                     \
+    do {                                                               \
+        uint64_t vm_sem = n * tau1 + sem_mem;                          \
+        p.microOps += n;                                               \
+        p.semantic += vm_sem;                                          \
+        p.level1 += l1;                                                \
+        p.level2 += l2;                                                \
+        p.dirInstrs += d_dir;                                          \
+        p.dispatch += d_disp;                                          \
+        p.stage += d_stage;                                            \
+        p.shortInstrs += d_short;                                      \
+        cyc += vm_sem;                                                 \
+        n = sem_mem = l1 = l2 = 0;                                     \
+        d_dir = d_disp = d_stage = d_short = 0;                        \
+        sp_ = sp;                                                      \
+        pc_ = pc;                                                      \
+        prevPc_ = prev_pc;                                             \
+    } while (0)
+#define VM_BAIL()                                                      \
+    do {                                                               \
+        VM_FLUSH();                                                    \
+        drainPending(p);                                               \
+    } while (0)
+
+    while (!halted_) {
+        {
+            uint64_t now = drained + cyc + n * tau1 + sem_mem;
+            if (now >= sliceLimit_)
+                break;
+            if (now >= sample_at) {
+                VM_BAIL();
+                drained = breakdown_.total();
+                cyc = 0;
+                budget_left =
+                    config_.maxDirInstrs - dirInstrs_.value();
+                takeSample();
+                sample_at = nextSampleAt_;
+            }
+        }
+        if (d_dir >= budget_left) {
+            VM_BAIL();
+            fatal("DIR instruction budget exhausted (%llu)",
+                  static_cast<unsigned long long>(config_.maxDirInstrs));
+        }
+
+        // While the recorder is active every step must pass through it:
+        // keep to the switch path (recording windows are short).
+        idx = UINT32_MAX;
+        if (!tier_->recording()) {
+            if (site && site->icTag == pc &&
+                dtb->icCheck(site->icIdx, pc)) {
+                idx = site->icIdx;
+            } else {
+                idx = dtb->probeIdx(pc);
+                if (idx != UINT32_MAX && site) {
+                    site->icTag = pc;
+                    site->icIdx = idx;
+                }
+            }
+        }
+        fs = nullptr;
+        if (idx != UINT32_MAX) {
+            fs = ensureSeqLowered(idx);
+            if (!fs->fastable || sp + fs->pushes.size() > stack_words)
+                fs = nullptr;
+        }
+        if (!fs) {
+            VM_BAIL();
+            {
+                uint64_t lookup_pc = pc;
+                uint32_t hit = tieredStep();
+                if (hit != UINT32_MAX) {
+                    if (site) {
+                        site->icTag = lookup_pc;
+                        site->icIdx = hit;
+                    }
+                    site = ensureSeqLowered(hit);
+                } else {
+                    site = nullptr;
+                }
+            }
+            drained = breakdown_.total();
+            cyc = 0;
+            budget_left = config_.maxDirInstrs - dirInstrs_.value();
+            sample_at = sampleEvery_ ? nextSampleAt_ : UINT64_MAX;
+            sp = sp_;
+            pc = pc_;
+            prev_pc = prevPc_;
+            stk = mem_.raw() + stack_base;
+            continue;
+        }
+
+        // Committed hit.
+        dtb->hitAt(idx);
+        d_disp += tau_d;
+        cyc += tau_d;
+        {
+            EntryMeta &meta = dtb->metaAt(idx);
+            bool backedge = pc <= prev_pc;
+            if (backedge)
+                ++meta.backedgeCount;
+
+            if (meta.anchorsTrace) {
+                // Trace dispatch (the recorder is known idle here): one
+                // trace-cache access plus the dispatch overhead.
+                uint64_t add = tau_d + config_.tier.dispatchCycles;
+                d_disp += add;
+                cyc += add;
+                if (const tier::Trace *trace = tier_->lookupTrace(pc)) {
+                    ++traceEnters_;
+                    FastTrace *ft = nullptr;
+                    uint32_t tidx = 0;
+                    uint32_t tgen = 0;
+                    if (tier_->cache().refOf(pc, tidx, tgen)) {
+                        ft = &fastTraces_[tidx];
+                        if (ft->gen != tgen) {
+                            lowerFastTrace(*trace, flat_, tau_d, tau1,
+                                           *ft);
+                            ft->gen = tgen;
+                        }
+                        if (!ft->fastable)
+                            ft = nullptr;
+                    }
+                    // Trace boundaries are drain points.
+                    VM_BAIL();
+                    if (ft)
+                        next = executeTraceFast(*ft, p);
+                    else
+                        next = executeTrace(*trace);
+                    drainPending(p);
+                    drained = breakdown_.total();
+                    cyc = 0;
+                    budget_left =
+                        config_.maxDirInstrs - dirInstrs_.value();
+                    sample_at =
+                        sampleEvery_ ? nextSampleAt_ : UINT64_MAX;
+                    sp = sp_;
+                    pc = pc_;
+                    prev_pc = prevPc_;
+                    stk = mem_.raw() + stack_base;
+                    site = nullptr;
+                    if (next == haltBitAddr)
+                        halted_ = true;
+                    else
+                        pc = next;
+                    continue;
+                }
+                // Stale anchor (cleared by lookupTrace): fall through
+                // to the ordinary tier-1 sequence path.
+            }
+            if (backedge && tier_->wantsRecording(meta, pc))
+                tier_->beginRecording(pc);
+        }
+
+        ++d_dir;
+        if (capture)
+            addressTrace_.push_back(pc);
+        prev_pc = pc;
+
+        {
+            uint64_t add = fs->dispatchAdd;
+            d_disp += add;
+            d_stage += fs->stageAdd;
+            cyc += add + fs->stageAdd;
+        }
+        l1 += fs->level1Add;
+        d_short += fs->shortCount;
+
+        {
+            const int64_t *pv = fs->pushes.data();
+            size_t np = fs->pushes.size();
+            for (size_t k = 0; k < np; ++k)
+                stk[sp + k] = pv[k];
+            sp += np;
+        }
+
+        if (fs->routineEntry >= 0) {
+            vm_i = static_cast<size_t>(fs->routineEntry);
+            goto vm_enter;
+        }
+    seq_done:
+        if (fs->stackNext) {
+            if (sp == 0) {
+                d_disp -= tau1;
+                cyc -= tau1;
+                --l1;
+                VM_BAIL();
+                fatal("operand stack underflow");
+            }
+            next = static_cast<uint64_t>(stk[--sp]);
+        } else {
+            next = fs->nextImm;
+        }
+        site = fs;
+        if (next == haltBitAddr)
+            halted_ = true;
+        else
+            pc = next;
+    }
+    VM_BAIL();
+    return;
+
+#define VM_DONE_GOTO goto seq_done
+#include "uhm/vm_ops.inc"
+#undef VM_DONE_GOTO
+#undef VM_BAIL
+#undef VM_FLUSH
+}
+
+void
+Machine::runConventionalFast()
+{
+    const uint32_t *vm_code = flat_.code.data();
+    const int64_t *vm_imm = flat_.imm.data();
+    const uint64_t tau1 = config_.timing.tau1;
+    const uint64_t tau2 = config_.timing.tau2;
+    const uint64_t level1_words = mem_.level1Words();
+    const uint64_t stack_base = config_.layout.stackBase;
+    const uint64_t stack_words = config_.layout.stackWords;
+    const bool capture = config_.captureAddressTrace;
+    auto &r = regs_;
+
+    Pending p;
+    uint64_t drained = breakdown_.total();
+    uint64_t cyc = 0;
+    uint64_t n = 0, sem_mem = 0, l1 = 0, l2 = 0;
+    // Register-resident step buckets; see runDtbFast.
+    uint64_t d_dir = 0, d_disp = 0, d_stage = 0;
+    uint64_t d_fetch = 0, d_decode = 0, d_refs = 0;
+    uint64_t sp = sp_;
+    uint64_t pc = pc_;
+    int64_t *stk = mem_.raw() + stack_base;
+    uint64_t budget_left = config_.maxDirInstrs - dirInstrs_.value();
+    uint64_t sample_at = sampleEvery_ ? nextSampleAt_ : UINT64_MAX;
+    size_t vm_i = 0, vm_ii = 0;
+    uint32_t vm_w = 0;
+    FastConv *fc = nullptr;
+
+#define VM_FLUSH()                                                     \
+    do {                                                               \
+        uint64_t vm_sem = n * tau1 + sem_mem;                          \
+        p.microOps += n;                                               \
+        p.semantic += vm_sem;                                          \
+        p.level1 += l1;                                                \
+        p.level2 += l2;                                                \
+        p.dirInstrs += d_dir;                                          \
+        p.decodedInstrs += d_dir;                                      \
+        p.dispatch += d_disp;                                          \
+        p.stage += d_stage;                                            \
+        p.fetch += d_fetch;                                            \
+        p.decode += d_decode;                                          \
+        p.dirFetchRefs += d_refs;                                      \
+        cyc += vm_sem;                                                 \
+        n = sem_mem = l1 = l2 = 0;                                     \
+        d_dir = d_disp = d_stage = d_fetch = d_decode = d_refs = 0;    \
+        sp_ = sp;                                                      \
+        pc_ = pc;                                                      \
+    } while (0)
+#define VM_BAIL()                                                      \
+    do {                                                               \
+        VM_FLUSH();                                                    \
+        drainPending(p);                                               \
+    } while (0)
+
+    while (!halted_) {
+        {
+            uint64_t now = drained + cyc + n * tau1 + sem_mem;
+            if (now >= sliceLimit_)
+                break;
+            if (now >= sample_at) {
+                VM_BAIL();
+                drained = breakdown_.total();
+                cyc = 0;
+                budget_left =
+                    config_.maxDirInstrs - dirInstrs_.value();
+                takeSample();
+                sample_at = nextSampleAt_;
+            }
+        }
+        if (d_dir >= budget_left) {
+            VM_BAIL();
+            fatal("DIR instruction budget exhausted (%llu)",
+                  static_cast<unsigned long long>(config_.maxDirInstrs));
+        }
+        ++d_dir;
+        if (capture)
+            addressTrace_.push_back(pc);
+
+        {
+            const DecodeResult &res = decodeMemo_.decodeAt(pc);
+            fc = &convFast_[res.index];
+            if (!fc->valid) {
+                // Lower lazily on first visit. The image is immutable,
+                // so a lowered instruction never invalidates.
+                if (!stagingValid_[res.index]) {
+                    stagingMemo_[res.index] =
+                        stageInstruction(res.instr, *image_, res.index);
+                    stagingValid_[res.index] = 1;
+                }
+                const Staging &st = stagingMemo_[res.index];
+                fc->opIdx = static_cast<uint16_t>(res.instr.op);
+                uint64_t bits = res.nextBitAddr - pc;
+                fc->fetchRefs = static_cast<uint32_t>(
+                    std::max<uint64_t>(1, (bits + 63) / 64));
+                fc->fetchAdd = fc->fetchRefs * tau2;
+                fc->decodeCycles = config_.costs.decodeCycles(res.cost);
+                fc->pushes = st.pushes;
+                fc->routineEntry = st.routine >= 0 ?
+                    flat_.entry[static_cast<size_t>(st.routine)] : -1;
+                fc->next = static_cast<uint8_t>(st.next);
+                fc->nextImm = st.nextImm;
+                fc->stageAdd = fc->pushes.size() * tau1;
+                fc->dispatchAdd =
+                    st.next == NextKind::Stack ? tau1 : 0;
+                fc->level1Add =
+                    static_cast<uint32_t>(fc->pushes.size()) +
+                    (st.next == NextKind::Stack ? 1u : 0u);
+                fc->valid = true;
+            }
+        }
+        ++opcodeCounts_[fc->opIdx];
+        {
+            uint64_t add = fc->fetchAdd + fc->decodeCycles +
+                fc->stageAdd + fc->dispatchAdd;
+            d_fetch += fc->fetchAdd;
+            d_decode += fc->decodeCycles;
+            d_stage += fc->stageAdd;
+            d_disp += fc->dispatchAdd;
+            cyc += add;
+        }
+        d_refs += fc->fetchRefs;
+        l1 += fc->level1Add;
+
+        if (sp + fc->pushes.size() > stack_words) {
+            VM_BAIL();
+            fatal("operand stack overflow (%llu words)",
+                  static_cast<unsigned long long>(stack_words));
+        }
+        {
+            const int64_t *pv = fc->pushes.data();
+            size_t np = fc->pushes.size();
+            for (size_t k = 0; k < np; ++k)
+                stk[sp + k] = pv[k];
+            sp += np;
+        }
+
+        if (fc->routineEntry >= 0) {
+            vm_i = static_cast<size_t>(fc->routineEntry);
+            goto vm_enter;
+        }
+    conv_done:
+        switch (static_cast<NextKind>(fc->next)) {
+          case NextKind::Imm:
+            pc = fc->nextImm;
+            break;
+          case NextKind::Stack:
+            if (sp == 0) {
+                d_disp -= tau1;
+                cyc -= tau1;
+                --l1;
+                VM_BAIL();
+                fatal("operand stack underflow");
+            }
+            pc = static_cast<uint64_t>(stk[--sp]);
+            break;
+          case NextKind::Halt:
+            halted_ = true;
+            break;
+        }
+    }
+    VM_BAIL();
+    return;
+
+#define VM_DONE_GOTO goto conv_done
+#include "uhm/vm_ops.inc"
+#undef VM_DONE_GOTO
+#undef VM_BAIL
+#undef VM_FLUSH
 }
 
 void
@@ -797,6 +1650,21 @@ Machine::beginRun(std::vector<int64_t> input)
     if (tier_)
         tier_->reset();
 
+    // Fast-run dispatch state. Sized once per run and never reallocated
+    // while it runs, so FastSeq pointers (the inline-cache sites) stay
+    // stable across the whole slice sequence.
+    if (useFastLoops()) {
+        if (dtb_)
+            fastSlots_.assign(dtb_->numEntries(), FastSeq{});
+        if (tier_)
+            fastTraces_.assign(tier_->cache().numEntries(), FastTrace{});
+        if (config_.kind == MachineKind::Conventional)
+            convFast_.assign(image_->numInstrs(), FastConv{});
+        // The fast loops address the operand stack through a raw
+        // pointer; materialize its backing storage up front.
+        mem_.ensure(config_.layout.stackBase + config_.layout.stackWords);
+    }
+
     // Loader: display D[0] points at the globals; FSP starts just above
     // them. Loader pokes are not charged.
     uint64_t globals_base = layout.globalsBase();
@@ -819,7 +1687,14 @@ Machine::runSlice(uint64_t max_cycles)
     sliceLimit_ = max_cycles > UINT64_MAX - start ? UINT64_MAX :
         start + max_cycles;
 
-    if (config_.kind == MachineKind::Tiered) {
+    if (useFastLoops()) {
+        if (config_.kind == MachineKind::Tiered)
+            runTieredFast();
+        else if (config_.kind == MachineKind::Dtb)
+            runDtbFast();
+        else
+            runConventionalFast();
+    } else if (config_.kind == MachineKind::Tiered) {
         runTiered();
     } else if (config_.kind == MachineKind::Dtb ||
                config_.kind == MachineKind::Dtb2) {

@@ -55,6 +55,7 @@
 #include "psder/staging.hh"
 #include "tier/engine.hh"
 #include "uhm/costs.hh"
+#include "uhm/run_image.hh"
 
 namespace uhm
 {
@@ -85,10 +86,42 @@ enum class MachineKind : uint8_t
 /** Printable name of a machine kind. */
 const char *machineKindName(MachineKind kind);
 
+/**
+ * How the run loops execute. Both modes simulate the identical machine:
+ * every counter, histogram, event and output byte matches between them
+ * (tests/dispatch_test.cc holds the line). Threaded is a host-side
+ * optimization only.
+ */
+enum class DispatchMode : uint8_t
+{
+    /** The reference interpreter: switch dispatch over decoded
+     *  structures, every charge applied as it accrues. */
+    Switch,
+    /**
+     * Fast-run mode: decoded Programs/DIR/PSDER structures are lowered
+     * into flat run images (uhm/run_image.hh), micro-ops dispatch via
+     * computed goto (portable switch fallback without __GNUC__),
+     * per-INTERP-site inline caches skip DTB/trace-cache probes, and
+     * cycle attribution is batched in registers and drained at trace,
+     * slice and sampler boundaries. Organizations without a fast loop
+     * (Cached, Dtb2) and runs with event tracing on silently keep the
+     * switch loops.
+     */
+    Threaded,
+};
+
+/** Printable name of a dispatch mode. */
+const char *dispatchModeName(DispatchMode mode);
+
+/** Parse "switch"/"threaded" into @p out; false on anything else. */
+bool parseDispatchMode(const std::string &name, DispatchMode &out);
+
 /** Full configuration of one machine instance. */
 struct MachineConfig
 {
     MachineKind kind = MachineKind::Dtb;
+    /** Execution engine for the run loops (see DispatchMode). */
+    DispatchMode dispatch = DispatchMode::Switch;
     MachineLayout layout;
     MemTiming timing;
     CostModel costs;
@@ -367,6 +400,48 @@ class Machine
     void runDtb();
     void runTiered();
 
+    /**
+     * One switch-path iteration of the Dtb/Dtb2 loop (sampler gate,
+     * budget check, lookup or miss flow, sequence execution). The fast
+     * loop calls it for every instruction it cannot run from a lowered
+     * image, so cold paths have exactly one accounting implementation.
+     * @return the main-DTB entry index that hit, or UINT32_MAX (miss,
+     *         or an L1-buffer hit in two-level mode).
+     */
+    uint32_t dtbStep(bool two_level);
+
+    /** One switch-path iteration of the Tiered loop; same contract. */
+    uint32_t tieredStep();
+
+    // ---- fast-run dispatch (DispatchMode::Threaded) ------------------------
+    /** The fast loops are in force for this config and machine kind. */
+    bool
+    useFastLoops() const
+    {
+        return config_.dispatch == DispatchMode::Threaded && fastOk_ &&
+            (config_.kind == MachineKind::Dtb ||
+             config_.kind == MachineKind::Tiered ||
+             config_.kind == MachineKind::Conventional);
+    }
+
+    /** Apply a Pending's batched deltas to the real counters, the
+     *  breakdown and the memory accounting, and reset it. */
+    void drainPending(Pending &p);
+
+    /** The lowered FastSeq for DTB entry @p idx (which must be valid),
+     *  relowered first if the entry's generation moved on. */
+    FastSeq *ensureSeqLowered(uint32_t idx);
+
+    /** Run the flat micro-routine starting at stream index @p entry
+     *  (computed-goto dispatch), accounting into @p p. */
+
+    void runDtbFast();
+    void runTieredFast();
+    void runConventionalFast();
+
+    /** Fast-path mirror of executeTrace over a lowered image. */
+    uint64_t executeTraceFast(const FastTrace &ft, Pending &p);
+
     /** Perform the staging actions and semantics of one instruction. */
     void executeStaged(const Staging &staging);
 
@@ -449,6 +524,26 @@ class Machine
     DecodeMemo decodeMemo_;
     std::vector<uint8_t> stagingValid_;
     std::vector<Staging> stagingMemo_;
+
+    // Fast-run dispatch state (DispatchMode::Threaded; see
+    // uhm/run_image.hh and docs/INTERNALS.md "Fast-run dispatch").
+    /** All semantic routines flattened; immutable, built once. */
+    FlatRoutines flat_;
+    /** Layout/config admits the fast loops at all (stack resident in
+     *  level 1, no event tracing). Computed at construction. */
+    bool fastOk_ = false;
+    /** Lowered PSDER sequences + inline caches, by DTB entry index.
+     *  Sized at beginRun; never reallocated during a run, so FastSeq
+     *  pointers stay stable across iterations. */
+    std::vector<FastSeq> fastSlots_;
+    /** Lowered trace bodies, by trace-cache entry index. */
+    std::vector<FastTrace> fastTraces_;
+    /** Lowered conventional-path instructions, by image index. */
+    std::vector<FastConv> convFast_;
+    /** Semantic routines by id, resolved once per run at beginRun so
+     *  the interpreter loops index a raw-pointer table per CALL instead
+     *  of going through the bounds-checked RoutineLibrary::byId. */
+    std::vector<const MicroRoutine *> routinePtrs_;
 
     // Machine state.
     std::array<int64_t, numMicroRegs> regs_{};
