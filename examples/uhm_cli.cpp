@@ -99,6 +99,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/emit.hh"
 #include "obs/timeline.hh"
 #include "sched/scheduler.hh"
 
@@ -203,7 +204,7 @@ constexpr const char *commonOptionsHelp =
     "                         default 8192)\n";
 
 void
-printMainHelp()
+printMainHelp(std::FILE *out = stdout)
 {
     std::fputs(
         "usage: uhm_cli [run] [options] <sample-name | path/to/program>\n"
@@ -212,8 +213,8 @@ printMainHelp()
         "Run one program on the simulated universal host machine\n"
         "(the explicit \"run\" subcommand name is optional).\n"
         "\n",
-        stdout);
-    std::fputs(commonOptionsHelp, stdout);
+        out);
+    std::fputs(commonOptionsHelp, out);
     std::fputs(
         "  --input=<ints>         comma-separated read-statement input\n"
         "  --dtb-bytes=<n>        DTB buffer capacity (default 4096)\n"
@@ -240,11 +241,11 @@ printMainHelp()
         "\n"
         "example: uhm_cli run --machine=tiered --timeline=out.json "
         "loops\n",
-        stdout);
+        out);
 }
 
 void
-printSweepHelp()
+printSweepHelp(std::FILE *out = stdout)
 {
     std::fputs(
         "usage: uhm_cli sweep [options] [program ...]\n"
@@ -252,8 +253,8 @@ printSweepHelp()
         "Run a batch of programs concurrently and emit a JSONL report\n"
         "(byte-identical for any --jobs value).\n"
         "\n",
-        stdout);
-    std::fputs(commonOptionsHelp, stdout);
+        out);
+    std::fputs(commonOptionsHelp, out);
     std::fputs(
         "  --jobs=<n>             worker threads (default: all cores)\n"
         "  --seed=<n>             seed for the \"synthetic\" workload\n"
@@ -263,7 +264,7 @@ printSweepHelp()
         "\n"
         "example: uhm_cli sweep --machine=tiered --jobs=8 "
         "--out=tiered.jsonl\n",
-        stdout);
+        out);
 }
 
 uhm::EncodingScheme
@@ -391,8 +392,13 @@ parseArgs(int argc, char **argv)
         else if (arg.rfind("--sample-interval=", 0) == 0)
             opts.sampleInterval =
                 std::stoull(value("--sample-interval="));
-        else if (!arg.empty() && arg[0] == '-')
-            uhm::fatal("unknown option '%s' (try --help)", arg.c_str());
+        else if (!arg.empty() && arg[0] == '-') {
+            // Usage goes to stderr here: stdout must stay clean (and
+            // empty) on a failed invocation so pipelines never mistake
+            // help text for run output.
+            printMainHelp(stderr);
+            uhm::fatal("unknown option '%s'", arg.c_str());
+        }
         else
             opts.program = arg;
     }
@@ -487,9 +493,10 @@ runSweepCommand(int argc, char **argv)
                 std::stoull(value("--sample-interval="));
         else if (arg.rfind("--out=", 0) == 0)
             out_path = value("--out=");
-        else if (!arg.empty() && arg[0] == '-')
-            uhm::fatal("unknown sweep option '%s' (try --help)",
-                       arg.c_str());
+        else if (!arg.empty() && arg[0] == '-') {
+            printSweepHelp(stderr);
+            uhm::fatal("unknown sweep option '%s'", arg.c_str());
+        }
         else
             programs.push_back(arg);
     }
@@ -523,14 +530,8 @@ runSweepCommand(int argc, char **argv)
     uhm::bench::SweepReport report =
         uhm::bench::runSweep(runner, points);
 
-    if (out_path.empty()) {
-        std::fputs(report.jsonl.c_str(), stdout);
-    } else {
-        std::ofstream out(out_path);
-        if (!out)
-            uhm::fatal("cannot open '%s'", out_path.c_str());
-        out << report.jsonl;
-    }
+    uhm::obs::writeTextTo(report.jsonl,
+                          out_path.empty() ? "-" : out_path, stdout);
     std::fprintf(stderr, "# sweep: %zu points on %u workers, %llu DIR "
                  "instrs simulated\n",
                  points.size(), runner.jobs(),
@@ -656,12 +657,7 @@ runMultiTenant(const Options &opts, const uhm::DirProgram &prog,
         p.events = sr.events;
         p.eventsSeen = sr.eventsSeen;
         p.eventsDropped = sr.eventsDropped;
-        std::ofstream out(opts.timelinePath);
-        if (!out)
-            uhm::fatal("cannot open '%s'", opts.timelinePath.c_str());
-        out << uhm::obs::toChromeTrace(p);
-        std::fprintf(stderr, "# timeline: %zu events -> %s\n",
-                     sr.events.size(), opts.timelinePath.c_str());
+        uhm::obs::emitChromeTrace(p, opts.timelinePath);
     }
     return 0;
 }
@@ -801,27 +797,12 @@ try {
     meta.machine = uhm::machineKindName(opts.kind);
     meta.encoding = uhm::encodingName(opts.scheme);
     meta.imageBits = image->bitSize();
-    if (opts.profile) {
-        std::string doc = uhm::profileJsonl(meta, r);
-        if (opts.profilePath == "-") {
-            std::fputs(doc.c_str(), stderr);
-        } else {
-            std::ofstream out(opts.profilePath);
-            if (!out)
-                uhm::fatal("cannot open '%s'",
-                           opts.profilePath.c_str());
-            out << doc;
-        }
-    }
-    if (!opts.timelinePath.empty()) {
-        std::string doc =
-            uhm::obs::toChromeTrace(uhm::buildProfile(meta, r));
-        std::ofstream out(opts.timelinePath);
-        if (!out)
-            uhm::fatal("cannot open '%s'", opts.timelinePath.c_str());
-        out << doc;
-        std::fprintf(stderr, "# timeline: %zu events -> %s\n",
-                     r.events.size(), opts.timelinePath.c_str());
+    if (opts.profile || !opts.timelinePath.empty()) {
+        uhm::obs::ProfileData profile = uhm::buildProfile(meta, r);
+        if (opts.profile)
+            uhm::obs::emitProfileJsonl(profile, opts.profilePath);
+        if (!opts.timelinePath.empty())
+            uhm::obs::emitChromeTrace(profile, opts.timelinePath);
     }
     if (opts.trace) {
         size_t shown = 0;

@@ -1,0 +1,52 @@
+#include "obs/emit.hh"
+
+#include <fstream>
+
+#include "obs/timeline.hh"
+#include "support/logging.hh"
+
+namespace uhm::obs
+{
+
+std::string
+renderProfileJsonl(const ProfileData &profile)
+{
+    return toJsonl(profile);
+}
+
+std::string
+renderChromeTrace(const ProfileData &profile)
+{
+    return toChromeTrace(profile);
+}
+
+void
+writeTextTo(const std::string &text, const std::string &path,
+            std::FILE *dash_stream)
+{
+    if (path == "-") {
+        std::fputs(text.c_str(), dash_stream);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s'", path.c_str());
+    out << text;
+}
+
+void
+emitProfileJsonl(const ProfileData &profile, const std::string &path,
+                 std::FILE *dash_stream)
+{
+    writeTextTo(renderProfileJsonl(profile), path, dash_stream);
+}
+
+void
+emitChromeTrace(const ProfileData &profile, const std::string &path)
+{
+    writeTextTo(renderChromeTrace(profile), path, stderr);
+    std::fprintf(stderr, "# timeline: %zu events -> %s\n",
+                 profile.events.size(), path.c_str());
+}
+
+} // namespace uhm::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Report emission: one place that turns a ProfileData into bytes on a
+ * sink.
+ *
+ * uhm_cli's --profile/--timeline flags, the uhm_serve daemon's
+ * response payloads and its shutdown timeline all emit the same two
+ * documents — the JSONL profile report (obs::toJsonl) and the Chrome
+ * trace timeline (obs::toChromeTrace). This module owns the
+ * render-then-write step so the emitters cannot drift: every consumer
+ * gets its bytes from renderProfileJsonl()/renderChromeTrace(), and
+ * the file-or-stream sink convention ("-" = the caller's fallback
+ * stream, anything else = a file, fatal on open failure) is implemented
+ * once.
+ */
+
+#ifndef UHM_OBS_EMIT_HH
+#define UHM_OBS_EMIT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "obs/report.hh"
+
+namespace uhm::obs
+{
+
+/**
+ * The JSONL profile report for @p profile — the exact bytes
+ * `uhm_cli --profile` writes and a `uhm_serve` profile response
+ * carries as its payload. A thin, named alias of toJsonl() so callers
+ * that must stay byte-identical share one entry point.
+ */
+std::string renderProfileJsonl(const ProfileData &profile);
+
+/** The Chrome trace-event timeline document for @p profile. */
+std::string renderChromeTrace(const ProfileData &profile);
+
+/**
+ * Write @p text to @p path; a path of "-" means @p dash_stream
+ * instead. Fatal (exit-1 FatalError) when the file cannot be opened.
+ */
+void writeTextTo(const std::string &text, const std::string &path,
+                 std::FILE *dash_stream);
+
+/** renderProfileJsonl + writeTextTo. */
+void emitProfileJsonl(const ProfileData &profile,
+                      const std::string &path,
+                      std::FILE *dash_stream = stderr);
+
+/**
+ * renderChromeTrace + writeTextTo + the "# timeline: N events -> path"
+ * status note on stderr (the note is part of the CLI contract too).
+ */
+void emitChromeTrace(const ProfileData &profile,
+                     const std::string &path);
+
+} // namespace uhm::obs
+
+#endif // UHM_OBS_EMIT_HH

@@ -17,7 +17,7 @@ constexpr int overviewTid = 0;
 /** Track names indexed by tid (overview first). */
 constexpr const char *trackNames[] = {
     "cycle buckets", "ifu", "iu1", "iu2", "translator", "tier",
-    "sampler", "sched",
+    "sampler", "sched", "serve",
 };
 constexpr int numTracks =
     static_cast<int>(sizeof(trackNames) / sizeof(trackNames[0]));
@@ -170,6 +170,11 @@ eventKindTrackId(EventKind kind)
       case EventKind::SchedSlice:
       case EventKind::SchedSwitch:
         return 7; // sched
+      case EventKind::ServeEnqueue:
+      case EventKind::ServeBegin:
+      case EventKind::ServeDone:
+      case EventKind::ServeReject:
+        return 8; // serve
     }
     return overviewTid;
 }

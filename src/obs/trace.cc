@@ -29,6 +29,10 @@ eventKindName(EventKind kind)
       case EventKind::DtbFlush:        return "dtb_flush";
       case EventKind::SchedSlice:      return "sched_slice";
       case EventKind::SchedSwitch:     return "sched_switch";
+      case EventKind::ServeEnqueue:    return "serve_enqueue";
+      case EventKind::ServeBegin:      return "serve_begin";
+      case EventKind::ServeDone:       return "serve_done";
+      case EventKind::ServeReject:     return "serve_reject";
     }
     return "?";
 }

@@ -46,11 +46,18 @@ enum class EventKind : uint8_t
     SchedSlice,      ///< tenant slice ended; addr = tenant id,
                      ///< arg = cycles consumed
     SchedSwitch,     ///< scheduler switched tenants; addr = tenant id
+    // Serving events (src/serve). The server has no simulated clock, so
+    // these are stamped with microseconds since server start instead of
+    // machine cycles; the addr is always the request id.
+    ServeEnqueue,    ///< request admitted; arg = requests in flight
+    ServeBegin,      ///< first slice dispatched; arg = wait in us
+    ServeDone,       ///< response written; arg = service time in us
+    ServeReject,     ///< backpressure rejection; arg = requests in flight
 };
 
 /** Number of distinct EventKind values. */
 inline constexpr size_t numEventKinds =
-    static_cast<size_t>(EventKind::SchedSwitch) + 1;
+    static_cast<size_t>(EventKind::ServeReject) + 1;
 
 /**
  * Every EventKind, in declaration order. The timeline exporter's
@@ -68,6 +75,8 @@ inline constexpr EventKind allEventKinds[numEventKinds] = {
     EventKind::TraceEvict,  EventKind::TraceInvalidate,
     EventKind::Sample,      EventKind::DtbFlush,
     EventKind::SchedSlice,  EventKind::SchedSwitch,
+    EventKind::ServeEnqueue, EventKind::ServeBegin,
+    EventKind::ServeDone,    EventKind::ServeReject,
 };
 
 /** Stable lowercase name of @p kind ("dtb_miss"). */

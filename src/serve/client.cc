@@ -1,0 +1,114 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace uhm::serve
+{
+
+uint64_t
+Response::uintField(const std::string &key) const
+{
+    const JsonValue *v = doc.find(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::Int ||
+        v->integer < 0)
+        return 0;
+    return static_cast<uint64_t>(v->integer);
+}
+
+Client::Client(const std::string &socket_path)
+{
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        fatal("socket: %s", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        fatal("socket path '%s' too long", socket_path.c_str());
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0)
+        fatal("connect '%s': %s", socket_path.c_str(),
+              std::strerror(errno));
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Client::send(const std::string &request_line)
+{
+    std::string text = request_line + "\n";
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = ::send(fd_, text.data() + off, text.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("send: %s", std::strerror(errno));
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+std::string
+Client::readLine()
+{
+    for (;;) {
+        size_t eol = buffer_.find('\n');
+        if (eol != std::string::npos) {
+            std::string line = buffer_.substr(0, eol);
+            buffer_.erase(0, eol + 1);
+            return line;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            fatal("connection closed by the server");
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+Response
+Client::recv()
+{
+    Response r;
+    r.header = readLine();
+    std::string err;
+    if (!parseJson(r.header, r.doc, err))
+        fatal("malformed response header: %s", err.c_str());
+    const JsonValue *ok = r.doc.find("ok");
+    r.ok = ok != nullptr && ok->kind == JsonValue::Kind::Bool &&
+        ok->boolean;
+    r.id = r.uintField("id");
+    if (const JsonValue *e = r.doc.find("error"))
+        r.error = e->string;
+    if (const JsonValue *m = r.doc.find("message"))
+        r.message = m->string;
+    uint64_t lines = r.uintField("payload_lines");
+    for (uint64_t i = 0; i < lines; ++i)
+        r.payload += readLine() + "\n";
+    return r;
+}
+
+Response
+Client::call(const std::string &request_line)
+{
+    send(request_line);
+    return recv();
+}
+
+} // namespace uhm::serve

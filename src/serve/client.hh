@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Client side of the uhm_serve protocol: connect, send request lines,
+ * frame responses (header + payload_lines verbatim lines).
+ */
+
+#ifndef UHM_SERVE_CLIENT_HH
+#define UHM_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "serve/proto.hh"
+
+namespace uhm::serve
+{
+
+/** One framed response. */
+struct Response
+{
+    /** The raw header line (no newline). */
+    std::string header;
+    /** The parsed header. */
+    JsonValue doc;
+    /** The verbatim payload lines, concatenated ('\n'-terminated). */
+    std::string payload;
+
+    bool ok = false;
+    uint64_t id = 0;
+    /** Error code when !ok ("bad_request", "overloaded", ...). */
+    std::string error;
+    std::string message;
+
+    /** Header field as unsigned (0 when absent). */
+    uint64_t uintField(const std::string &key) const;
+};
+
+/** A blocking connection to a uhm_serve daemon. */
+class Client
+{
+  public:
+    /** Connect to @p socket_path; fatal on failure. */
+    explicit Client(const std::string &socket_path);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one request line (newline appended). Fatal on error. */
+    void send(const std::string &request_line);
+
+    /**
+     * Read the next response (header + its payload). Fatal on a
+     * protocol violation or a closed connection.
+     */
+    Response recv();
+
+    /** send() + recv() — one synchronous round trip. */
+    Response call(const std::string &request_line);
+
+  private:
+    /** Next '\n'-terminated line (without the newline). */
+    std::string readLine();
+
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace uhm::serve
+
+#endif // UHM_SERVE_CLIENT_HH

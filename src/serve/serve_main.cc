@@ -1,0 +1,123 @@
+/**
+ * @file
+ * uhm_serve: the persistent UHM daemon.
+ *
+ * Binds a unix-domain socket, serves line-delimited JSON requests (see
+ * serve/proto.hh for the grammar) and runs until SIGINT/SIGTERM or a
+ * `{"verb":"shutdown"}` request. On exit it can dump the serve-track
+ * timeline (--timeline=) and the serve.* counters (--stats).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/emit.hh"
+#include "serve/server.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int)
+{
+    g_signal = 1;
+}
+
+void
+printHelp(std::FILE *out)
+{
+    std::fputs(
+        "usage: uhm_serve [options]\n"
+        "\n"
+        "Serve UHM simulations over a unix-domain socket (JSONL\n"
+        "protocol; see src/serve/proto.hh). Runs until SIGINT,\n"
+        "SIGTERM or a {\"verb\":\"shutdown\"} request.\n"
+        "\n"
+        "options:\n"
+        "  --socket=PATH        listen path "
+        "(default /tmp/uhm_serve.sock)\n"
+        "  --workers=N          pool workers (default: UHM_JOBS or "
+        "hardware)\n"
+        "  --max-sessions=N     session-cache capacity (default 32)\n"
+        "  --max-queue=N        in-flight cap before 'overloaded' "
+        "(default 128)\n"
+        "  --slice-cycles=N     cycles per execution slice "
+        "(default 50000)\n"
+        "  --timeline=FILE      dump the serve-track Chrome trace on "
+        "exit\n"
+        "  --stats              dump serve.* counters to stderr on "
+        "exit\n"
+        "  --help               this text\n",
+        out);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+try {
+    uhm::serve::ServerConfig cfg;
+    std::string timeline_path;
+    bool stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--socket=", 0) == 0)
+            cfg.socketPath = value("--socket=");
+        else if (arg.rfind("--workers=", 0) == 0)
+            cfg.workers = static_cast<unsigned>(
+                std::stoul(value("--workers=")));
+        else if (arg.rfind("--max-sessions=", 0) == 0)
+            cfg.maxSessions = std::stoull(value("--max-sessions="));
+        else if (arg.rfind("--max-queue=", 0) == 0)
+            cfg.maxQueue = std::stoull(value("--max-queue="));
+        else if (arg.rfind("--slice-cycles=", 0) == 0)
+            cfg.sliceCycles = std::stoull(value("--slice-cycles="));
+        else if (arg.rfind("--timeline=", 0) == 0)
+            timeline_path = value("--timeline=");
+        else if (arg == "--stats")
+            stats = true;
+        else if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        } else {
+            printHelp(stderr);
+            uhm::fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    uhm::serve::Server server(cfg);
+    server.start();
+    std::fprintf(stderr, "# uhm_serve: listening on %s\n",
+                 cfg.socketPath.c_str());
+
+    while (!server.stopRequested() && g_signal == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+
+    uhm::obs::ProfileData profile = server.statsProfile(false);
+    if (stats) {
+        for (const auto &kv : profile.counters)
+            std::fprintf(stderr, "# %s = %llu\n", kv.first.c_str(),
+                         static_cast<unsigned long long>(kv.second));
+    }
+    if (!timeline_path.empty())
+        uhm::obs::emitChromeTrace(profile, timeline_path);
+    std::fprintf(stderr, "# uhm_serve: stopped\n");
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}

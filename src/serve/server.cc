@@ -1,0 +1,485 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "bench_common.hh"
+#include "hlr/compiler.hh"
+#include "obs/emit.hh"
+#include "support/logging.hh"
+#include "uhm/profile.hh"
+#include "workload/samples.hh"
+
+namespace uhm::serve
+{
+
+namespace
+{
+
+/** Payload lines = '\n' count (every payload line is terminated). */
+size_t
+countLines(const std::string &payload)
+{
+    size_t n = 0;
+    for (char c : payload)
+        if (c == '\n')
+            ++n;
+    return n;
+}
+
+} // anonymous namespace
+
+Connection::~Connection()
+{
+    ::close(fd);
+}
+
+void
+Connection::writeBlock(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(writeMutex);
+    if (dead.load())
+        return;
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            dead.store(true);
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.maxSessions),
+      epoch_(std::chrono::steady_clock::now())
+{
+    tracer_.enable(config_.eventCapacity);
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+uint64_t
+Server::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+Server::start()
+{
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("socket: %s", std::strerror(errno));
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path '%s' too long", config_.socketPath.c_str());
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("bind '%s': %s", config_.socketPath.c_str(),
+              std::strerror(errno));
+    if (::listen(listenFd_, 64) < 0)
+        fatal("listen: %s", std::strerror(errno));
+
+    pool_ = std::make_unique<ThreadPool>(config_.workers);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>(fd);
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns_.push_back(conn);
+        readers_.emplace_back(
+            [this, conn = std::move(conn)]() mutable {
+                readerLoop(std::move(conn));
+            });
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
+        for (;;) {
+            size_t eol = buffer.find('\n', start);
+            if (eol == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, eol - start);
+            start = eol + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                admitLine(conn, line);
+        }
+        buffer.erase(0, start);
+    }
+}
+
+void
+Server::admitLine(const std::shared_ptr<Connection> &conn,
+                  const std::string &line)
+{
+    Request req;
+    std::string err;
+    if (!parseRequest(line, req, err)) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++requests_;
+            ++errors_;
+        }
+        conn->writeBlock(errorHeader(req.id, "bad_request", err) + "\n");
+        return;
+    }
+    if (stopping_.load()) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++requests_;
+            ++errors_;
+        }
+        conn->writeBlock(errorHeader(req.id, "shutting_down",
+                                     "the server is stopping") + "\n");
+        return;
+    }
+    bool rejected = false;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++requests_;
+        if (inflight_ >= config_.maxQueue) {
+            ++overloaded_;
+            ++errors_;
+            tracer_.record(obs::EventKind::ServeReject, nowUs(), req.id,
+                           inflight_);
+            rejected = true;
+        } else {
+            ++inflight_;
+            queueDepth_.record(inflight_);
+            tracer_.record(obs::EventKind::ServeEnqueue, nowUs(),
+                           req.id, inflight_);
+        }
+    }
+    if (rejected) {
+        conn->writeBlock(errorHeader(
+            req.id, "overloaded",
+            "request queue is full (max " +
+                std::to_string(config_.maxQueue) + ")") + "\n");
+        return;
+    }
+    auto p = std::make_shared<Pending>();
+    p->conn = conn;
+    p->req = std::move(req);
+    p->enqueueUs = nowUs();
+    pool_->submit([this, p] { startRequest(p); });
+}
+
+void
+Server::startRequest(std::shared_ptr<Pending> p)
+{
+    p->beginUs = nowUs();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        tracer_.record(obs::EventKind::ServeBegin, p->beginUs,
+                       p->req.id, p->beginUs - p->enqueueUs);
+    }
+    try {
+        switch (p->req.verb) {
+          case Verb::Ping: {
+            finishRequest(p, ResponseInfo{}, "");
+            return;
+          }
+          case Verb::Shutdown: {
+            finishRequest(p, ResponseInfo{}, "");
+            stopping_.store(true);
+            stopCv_.notify_all();
+            return;
+          }
+          case Verb::Stats: {
+            obs::ProfileData profile = statsProfile(p->req.resetStats);
+            finishRequest(p, ResponseInfo{},
+                          obs::renderProfileJsonl(profile));
+            return;
+          }
+          case Verb::Compile:
+          case Verb::Encode: {
+            p->session = cache_.acquire(p->req, p->cached);
+            ResponseInfo info;
+            info.hasCached = true;
+            info.cached = p->cached;
+            info.hasProgramSummary = true;
+            info.instrs = p->session->program.size();
+            info.programHash = p->session->programHash;
+            if (p->req.verb == Verb::Encode)
+                info.imageBits = p->session->image->bitSize();
+            if (p->req.disasm)
+                info.disasm = p->session->program.disassemble();
+            cache_.release(p->session);
+            p->session.reset();
+            finishRequest(p, info, "");
+            return;
+          }
+          case Verb::Run:
+          case Verb::Profile: {
+            p->session = cache_.acquire(p->req, p->cached);
+            const std::vector<int64_t> &input = p->req.inputGiven ?
+                p->req.input : p->session->defaultInput;
+            p->session->machine->beginRun(input);
+            runSliceStep(std::move(p));
+            return;
+          }
+          case Verb::Sweep: {
+            // One sweep request = one pool task; the report is built
+            // by a single-worker runner so its bytes match
+            // `uhm_cli sweep` for any server parallelism.
+            std::vector<std::string> programs = p->req.programs;
+            if (programs.empty()) {
+                for (const auto &sample : workload::samplePrograms())
+                    programs.push_back(sample.name);
+            }
+            std::vector<bench::SweepPoint> points;
+            for (const std::string &name : programs) {
+                bench::SweepPoint point;
+                point.label = name;
+                if (name == "synthetic") {
+                    point.program =
+                        bench::gridWorkload(2, p->req.seed);
+                } else {
+                    const workload::SampleProgram &sample =
+                        workload::sampleByName(name);
+                    point.input = sample.input;
+                    point.program = hlr::compileSource(sample.source);
+                }
+                point.scheme = p->req.machine.scheme;
+                // Exactly the fields `uhm_cli sweep` sets (it leaves
+                // the DTB geometry at its defaults).
+                point.config.kind = p->req.machine.kind;
+                point.config.dispatch = p->req.machine.dispatch;
+                point.config.tier.hotThreshold =
+                    p->req.machine.tierThreshold;
+                point.config.tier.traceCap = p->req.machine.traceCap;
+                point.config.traceCache.capacityBytes =
+                    p->req.machine.traceBytes;
+                point.config.sampleIntervalCycles =
+                    p->req.machine.sampleInterval;
+                points.push_back(std::move(point));
+            }
+            bench::SweepRunner runner(1);
+            bench::SweepReport report = bench::runSweep(runner, points);
+            finishRequest(p, ResponseInfo{}, report.jsonl);
+            return;
+          }
+        }
+        failRequest(p, "bad_request", "unhandled verb");
+    } catch (const FatalError &e) {
+        if (p->session) {
+            cache_.release(p->session);
+            p->session.reset();
+        }
+        failRequest(p, "bad_request", e.what());
+    }
+}
+
+void
+Server::runSliceStep(std::shared_ptr<Pending> p)
+{
+    try {
+        p->session->machine->runSlice(config_.sliceCycles);
+        if (!p->session->machine->finished()) {
+            pool_->submit([this, p] { runSliceStep(p); });
+            return;
+        }
+        RunResult r = p->session->machine->finishRun();
+
+        ProfileMeta meta;
+        meta.program = p->session->label;
+        meta.machine = machineKindName(p->req.machine.kind);
+        meta.encoding = encodingName(p->req.machine.scheme);
+        meta.imageBits = p->session->image->bitSize();
+
+        ResponseInfo info;
+        info.hasCached = true;
+        info.cached = p->cached;
+        info.hasRunSummary = true;
+        info.output = r.output;
+        info.cycles = r.cycles;
+        info.dirInstrs = r.dirInstrs;
+
+        std::string payload;
+        if (p->req.profile)
+            payload = profileJsonl(meta, r);
+
+        cache_.release(p->session);
+        p->session.reset();
+        finishRequest(p, info, payload);
+    } catch (const FatalError &e) {
+        if (p->session) {
+            cache_.release(p->session);
+            p->session.reset();
+        }
+        failRequest(p, "bad_request", e.what());
+    }
+}
+
+void
+Server::finishRequest(const std::shared_ptr<Pending> &p,
+                      ResponseInfo info, const std::string &payload)
+{
+    uint64_t end = nowUs();
+    info.id = p->req.id;
+    info.verb = p->req.verb;
+    info.waitUs = p->beginUs - p->enqueueUs;
+    info.serviceUs = end - p->beginUs;
+    std::string text =
+        successHeader(info, countLines(payload)) + "\n" + payload;
+    p->conn->writeBlock(text);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++responses_;
+        waitUs_.record(info.waitUs);
+        serviceUs_.record(info.serviceUs);
+        tracer_.record(obs::EventKind::ServeDone, end, p->req.id,
+                       info.serviceUs);
+    }
+    retire();
+}
+
+void
+Server::failRequest(const std::shared_ptr<Pending> &p,
+                    const std::string &code, const std::string &message)
+{
+    p->conn->writeBlock(errorHeader(p->req.id, code, message) + "\n");
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++errors_;
+        tracer_.record(obs::EventKind::ServeDone, nowUs(), p->req.id, 0);
+    }
+    retire();
+}
+
+void
+Server::retire()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    --inflight_;
+    drainCv_.notify_all();
+}
+
+void
+Server::waitForStop()
+{
+    std::unique_lock<std::mutex> lock(stopMutex_);
+    stopCv_.wait(lock, [this] { return stopping_.load(); });
+}
+
+void
+Server::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    stopping_.store(true);
+    stopCv_.notify_all();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    // Drain in-flight requests before tearing down the connections
+    // their responses go to.
+    {
+        std::unique_lock<std::mutex> lock(statsMutex_);
+        drainCv_.wait(lock, [this] { return inflight_ == 0; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const auto &weak : conns_) {
+            if (auto conn = weak.lock())
+                ::shutdown(conn->fd, SHUT_RDWR);
+        }
+    }
+    for (std::thread &reader : readers_)
+        reader.join();
+    readers_.clear();
+    conns_.clear();
+    pool_.reset();
+    ::unlink(config_.socketPath.c_str());
+}
+
+obs::ProfileData
+Server::statsProfile(bool reset)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    obs::ProfileData profile;
+    profile.meta.emplace_back("program", "serve");
+    profile.meta.emplace_back("machine", "daemon");
+    profile.meta.emplace_back("encoding", "jsonl");
+
+    CacheStats cache = cache_.stats();
+    profile.counters["serve.requests"] = requests_;
+    profile.counters["serve.responses"] = responses_;
+    profile.counters["serve.errors"] = errors_;
+    profile.counters["serve.overloaded"] = overloaded_;
+    profile.counters["serve.inflight"] = inflight_;
+    profile.counters["serve.cache.size"] = cache_.size();
+    profile.counters["serve.cache.hits"] = cache.hits;
+    profile.counters["serve.cache.misses"] = cache.misses;
+    profile.counters["serve.cache.evictions"] = cache.evictions;
+    profile.counters["serve.cache.evict_rejected"] = cache.evictRejected;
+    profile.counters["serve.cache.busy_bypass"] = cache.busyBypass;
+
+    profile.histograms["serve.wait_us"] = waitUs_.snapshot();
+    profile.histograms["serve.service_us"] = serviceUs_.snapshot();
+    profile.histograms["serve.queue_depth"] = queueDepth_.snapshot();
+
+    profile.events = tracer_.events();
+    profile.eventsSeen = tracer_.seen();
+    profile.eventsDropped = tracer_.dropped();
+
+    if (reset) {
+        requests_ = responses_ = errors_ = overloaded_ = 0;
+        waitUs_.reset();
+        serviceUs_.reset();
+        queueDepth_.reset();
+    }
+    return profile;
+}
+
+} // namespace uhm::serve

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The uhm_serve daemon core: a unix-domain JSONL request server over
+ * the session cache and the work-stealing thread pool.
+ *
+ * Thread structure:
+ *
+ *  - one acceptor thread (poll + accept, so stop() is noticed),
+ *  - one reader thread per connection: frames request lines, performs
+ *    admission control, and submits admitted requests to the pool —
+ *    never touches a machine, so admission latency stays in
+ *    microseconds even under load,
+ *  - the ThreadPool workers execute requests. A run executes as a
+ *    chain of bounded Machine::runSlice() calls, the job resubmitting
+ *    itself between slices, so a long run shares the workers with
+ *    short requests instead of starving them (the PR-6 slice API as a
+ *    fairness device).
+ *
+ * Backpressure: at most ServerConfig::maxQueue requests may be in
+ * flight (admitted, not yet responded). Beyond that the reader writes
+ * an explicit `overloaded` error response immediately — the client
+ * always learns its request's fate; nothing queues unboundedly.
+ *
+ * Responses are written under a per-connection mutex as one atomic
+ * block (header + payload), in completion order. Profile payloads come
+ * from uhm::profileJsonl on the machine's RunResult — the same bytes a
+ * cold `uhm_cli --profile` run emits.
+ */
+
+#ifndef UHM_SERVE_SERVER_HH
+#define UHM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hh"
+#include "serve/cache.hh"
+#include "support/pool.hh"
+
+namespace uhm::serve
+{
+
+/** Daemon knobs. */
+struct ServerConfig
+{
+    std::string socketPath = "/tmp/uhm_serve.sock";
+    /** Pool worker count (0 = defaultJobs()). */
+    unsigned workers = 0;
+    /** Session-cache capacity. */
+    size_t maxSessions = 32;
+    /** Max in-flight requests before `overloaded` rejections. */
+    size_t maxQueue = 128;
+    /** Cycle budget per runSlice() call (fairness granule). */
+    uint64_t sliceCycles = 50'000;
+    /** serve-track event ring capacity. */
+    size_t eventCapacity = 1 << 16;
+};
+
+/** One accepted connection (shared by its reader and its jobs). */
+struct Connection
+{
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    /** Write one atomic response block; errors mark the peer dead. */
+    void writeBlock(const std::string &text);
+
+    const int fd;
+    std::mutex writeMutex;
+    std::atomic<bool> dead{false};
+};
+
+/** The daemon. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen and start the acceptor. Fatal on bind failure. */
+    void start();
+
+    /** True once a shutdown request (or stop()) has been seen. */
+    bool stopRequested() const { return stopping_.load(); }
+
+    /** Block until stopRequested() (the daemon main loop's wait). */
+    void waitForStop();
+
+    /**
+     * Stop accepting, drain in-flight requests, join every thread and
+     * close the socket. Idempotent.
+     */
+    void stop();
+
+    /**
+     * The serve.* observability snapshot: request/cache counters,
+     * wait/service/queue-depth histograms, and the serve-track event
+     * trace. @p reset zeroes the counters and histograms after the
+     * snapshot (the event ring always keeps accumulating).
+     */
+    obs::ProfileData statsProfile(bool reset);
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    /** One admitted request mid-flight. */
+    struct Pending
+    {
+        std::shared_ptr<Connection> conn;
+        Request req;
+        std::shared_ptr<Session> session;
+        bool cached = false;
+        uint64_t enqueueUs = 0;
+        uint64_t beginUs = 0;
+    };
+
+    /** Microseconds since the server started. */
+    uint64_t nowUs() const;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+
+    /** Reader-side: admit or reject one raw request line. */
+    void admitLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line);
+
+    /** First pool step: resolve the session and start the verb. */
+    void startRequest(std::shared_ptr<Pending> p);
+
+    /** One bounded execution slice; resubmits itself until HALT. */
+    void runSliceStep(std::shared_ptr<Pending> p);
+
+    /** Write the final response and retire the request. */
+    void finishRequest(const std::shared_ptr<Pending> &p,
+                       ResponseInfo info, const std::string &payload);
+
+    /** Write an error response and retire the request. */
+    void failRequest(const std::shared_ptr<Pending> &p,
+                     const std::string &code, const std::string &message);
+
+    /** Drop one in-flight slot (wakes the drain wait). */
+    void retire();
+
+    ServerConfig config_;
+    int listenFd_ = -1;
+    std::thread acceptor_;
+    std::atomic<bool> stopping_{false};
+    bool stopped_ = false;
+
+    std::mutex connMutex_;
+    std::vector<std::thread> readers_;
+    std::vector<std::weak_ptr<Connection>> conns_;
+
+    std::unique_ptr<ThreadPool> pool_;
+    SessionCache cache_;
+
+    std::chrono::steady_clock::time_point epoch_;
+
+    /** Guards the counters, histograms, tracer and inflight_. */
+    mutable std::mutex statsMutex_;
+    std::condition_variable drainCv_;
+    size_t inflight_ = 0;
+    uint64_t requests_ = 0;
+    uint64_t responses_ = 0;
+    uint64_t errors_ = 0;
+    uint64_t overloaded_ = 0;
+    obs::Histogram waitUs_;
+    obs::Histogram serviceUs_;
+    obs::Histogram queueDepth_;
+    obs::Tracer tracer_;
+
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+};
+
+} // namespace uhm::serve
+
+#endif // UHM_SERVE_SERVER_HH

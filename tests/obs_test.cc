@@ -299,7 +299,7 @@ TEST(ObsTimeline, EveryKindHasATrack)
         tracks.insert(track);
         int tid = obs::eventKindTrackId(kind);
         EXPECT_GT(tid, 0); // tid 0 is the cycle-bucket overview
-        EXPECT_LE(tid, 7);
+        EXPECT_LE(tid, 8); // 8 = the serve track
     }
     // The unit mapping: fetch on the IFU, decode on IU1, dispatch on
     // IU2, translation on the translator, tiering on the tier engine.
@@ -312,6 +312,8 @@ TEST(ObsTimeline, EveryKindHasATrack)
                  "tier");
     EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::Sample),
                  "sampler");
+    EXPECT_STREQ(obs::eventKindTrack(obs::EventKind::ServeEnqueue),
+                 "serve");
 }
 
 TEST(ObsTimeline, SpansCarveConsecutiveStamps)

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests of the serving subsystem (src/serve): protocol parsing, the
+ * session cache's byte-identity and pinning guarantees, backpressure,
+ * and the daemon's wire behavior against real unix-domain sockets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "bench_common.hh"
+#include "hlr/compiler.hh"
+#include "obs/timeline.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "uhm/profile.hh"
+#include "workload/samples.hh"
+
+using namespace uhm;
+
+namespace
+{
+
+/** A fresh socket path per server (tests may run concurrently). */
+std::string
+testSocketPath()
+{
+    static int counter = 0;
+    return "/tmp/uhm_serve_test_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++) + ".sock";
+}
+
+/**
+ * The profile payload a cold single-process run produces — the same
+ * pipeline uhm_cli's --profile path executes, built independently of
+ * the server.
+ */
+std::string
+coldProfileJsonl(const std::string &name)
+{
+    const workload::SampleProgram &sample = workload::sampleByName(name);
+    DirProgram prog = hlr::compileSource(sample.source);
+    serve::MachineSettings settings; // the request-default machine
+    auto image = encodeDir(prog, settings.scheme);
+    Machine machine(*image, settings.toConfig());
+    RunResult r = machine.run(sample.input);
+    ProfileMeta meta;
+    meta.program = name;
+    meta.machine = machineKindName(settings.kind);
+    meta.encoding = encodingName(settings.scheme);
+    meta.imageBits = image->bitSize();
+    return profileJsonl(meta, r);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Protocol.
+// ---------------------------------------------------------------------
+
+TEST(ServeProto, ParsesJsonDocuments)
+{
+    serve::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(serve::parseJson(
+        R"({"a":1,"b":[true,null,-2],"c":"x\n","d":1.5})", v, err))
+        << err;
+    ASSERT_EQ(v.kind, serve::JsonValue::Kind::Object);
+    EXPECT_EQ(v.find("a")->integer, 1);
+    EXPECT_EQ(v.find("b")->array.size(), 3u);
+    EXPECT_TRUE(v.find("b")->array[0].boolean);
+    EXPECT_TRUE(v.find("b")->array[1].isNull());
+    EXPECT_EQ(v.find("b")->array[2].integer, -2);
+    EXPECT_EQ(v.find("c")->string, "x\n");
+    EXPECT_DOUBLE_EQ(v.find("d")->number, 1.5);
+    EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(ServeProto, RejectsMalformedJson)
+{
+    serve::JsonValue v;
+    std::string err;
+    EXPECT_FALSE(serve::parseJson("{\"a\":}", v, err));
+    EXPECT_FALSE(serve::parseJson("{\"a\":1} trailing", v, err));
+    EXPECT_FALSE(serve::parseJson("{\"a\":1,\"a\":2}", v, err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(ServeProto, ParsesRequestsStrictly)
+{
+    serve::Request req;
+    std::string err;
+    ASSERT_TRUE(serve::parseRequest(
+        R"({"id":7,"verb":"run","program":"fib","input":[3],)"
+        R"("machine":"tiered","trace_cap":32,"profile":true})",
+        req, err))
+        << err;
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.verb, serve::Verb::Run);
+    EXPECT_EQ(req.program, "fib");
+    EXPECT_TRUE(req.inputGiven);
+    EXPECT_EQ(req.input, (std::vector<int64_t>{3}));
+    EXPECT_EQ(req.machine.kind, MachineKind::Tiered);
+    EXPECT_EQ(req.machine.traceCap, 32u);
+    EXPECT_TRUE(req.profile);
+
+    // A typo'd field must be rejected, not ignored.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"verb":"run","programm":"fib"})", req, err));
+    EXPECT_NE(err.find("unknown field"), std::string::npos);
+
+    // verb is mandatory.
+    EXPECT_FALSE(serve::parseRequest(R"({"id":1})", req, err));
+
+    // Tier knobs without a tiered machine: same contract as the CLI.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"verb":"run","program":"fib","trace_cap":32})", req, err));
+    EXPECT_NE(err.find("tiered"), std::string::npos);
+}
+
+TEST(ServeProto, FingerprintSeparatesConfigs)
+{
+    serve::MachineSettings a, b;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.kind = MachineKind::Tiered;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    b = a;
+    b.dtbBytes = 8192;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// The daemon, over real sockets.
+// ---------------------------------------------------------------------
+
+TEST(ServeDaemon, ColdWarmAndConcurrentRunsAreByteIdentical)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 4;
+    serve::Server server(cfg);
+    server.start();
+
+    const std::string expected = coldProfileJsonl("fib");
+    const std::string request =
+        R"({"id":1,"verb":"profile","program":"fib"})";
+
+    // Cold, then warm on the same daemon.
+    serve::Client client(cfg.socketPath);
+    serve::Response cold = client.call(request);
+    ASSERT_TRUE(cold.ok) << cold.message;
+    EXPECT_FALSE(cold.doc.find("cached")->boolean);
+    EXPECT_EQ(cold.payload, expected);
+
+    serve::Response warm = client.call(request);
+    ASSERT_TRUE(warm.ok) << warm.message;
+    EXPECT_TRUE(warm.doc.find("cached")->boolean);
+    EXPECT_EQ(warm.payload, expected);
+
+    // 8-way concurrent fan-out: every response must carry the same
+    // bytes, whether it hit the warm session or bypassed a busy one.
+    constexpr int fanout = 8;
+    std::vector<std::string> payloads(fanout);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < fanout; ++i) {
+        threads.emplace_back([&, i] {
+            serve::Client c(cfg.socketPath);
+            serve::Response r = c.call(request);
+            payloads[i] = r.ok ? r.payload : ("ERROR: " + r.message);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int i = 0; i < fanout; ++i)
+        EXPECT_EQ(payloads[i], expected) << "response " << i;
+
+    server.stop();
+}
+
+TEST(ServeDaemon, CompileEncodeAndErrorVerbs)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 2;
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    serve::Response ping = client.call(R"({"id":1,"verb":"ping"})");
+    EXPECT_TRUE(ping.ok);
+
+    serve::Response comp = client.call(
+        R"({"id":2,"verb":"compile","program":"fib","disasm":true})");
+    ASSERT_TRUE(comp.ok) << comp.message;
+    EXPECT_GT(comp.uintField("instrs"), 0u);
+    EXPECT_EQ(comp.doc.find("program_hash")->string.size(), 16u);
+    EXPECT_FALSE(comp.doc.find("disasm")->string.empty());
+
+    serve::Response enc = client.call(
+        R"({"id":3,"verb":"encode","program":"fib"})");
+    ASSERT_TRUE(enc.ok) << enc.message;
+    // The image must be the exact one a cold process builds.
+    DirProgram prog = hlr::compileSource(
+        workload::sampleByName("fib").source);
+    auto image = encodeDir(prog, EncodingScheme::Huffman);
+    EXPECT_EQ(enc.uintField("image_bits"), image->bitSize());
+    // The second compile of the same chain is a cache hit.
+    EXPECT_TRUE(enc.doc.find("cached")->boolean);
+
+    // Unknown program -> bad_request, and the daemon keeps serving.
+    serve::Response bad = client.call(
+        R"({"id":4,"verb":"run","program":"no-such-sample"})");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.error, "bad_request");
+
+    serve::Response typo =
+        client.call(R"({"id":5,"verb":"run","bogus":1})");
+    EXPECT_FALSE(typo.ok);
+    EXPECT_EQ(typo.error, "bad_request");
+
+    serve::Response after = client.call(R"({"id":6,"verb":"ping"})");
+    EXPECT_TRUE(after.ok);
+
+    server.stop();
+}
+
+TEST(ServeDaemon, SweepMatchesTheHarnessByteForByte)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 2;
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    serve::Response r = client.call(
+        R"({"id":1,"verb":"sweep","programs":["collatz","fib",)"
+        R"("synthetic"]})");
+    ASSERT_TRUE(r.ok) << r.message;
+
+    // The reference report, built exactly as `uhm_cli sweep` does.
+    std::vector<bench::SweepPoint> points;
+    for (const std::string name : {"collatz", "fib", "synthetic"}) {
+        bench::SweepPoint point;
+        point.label = name;
+        if (name == "synthetic") {
+            point.program = bench::gridWorkload(2, 1978);
+        } else {
+            const workload::SampleProgram &sample =
+                workload::sampleByName(name);
+            point.input = sample.input;
+            point.program = hlr::compileSource(sample.source);
+        }
+        points.push_back(std::move(point));
+    }
+    bench::SweepRunner runner(2);
+    EXPECT_EQ(r.payload, bench::runSweep(runner, points).jsonl);
+
+    server.stop();
+}
+
+TEST(ServeDaemon, OverloadIsRejectedExplicitly)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 1;   // one executor: the first run occupies it
+    cfg.maxQueue = 2;  // admit two, reject the rest
+    cfg.sliceCycles = 2000;
+    serve::Server server(cfg);
+    server.start();
+
+    // Pipeline four slow runs without reading a single response: the
+    // reader admits 1 and 2, then must reject 3 and 4 immediately.
+    serve::Client client(cfg.socketPath);
+    for (int id = 1; id <= 4; ++id)
+        client.send(R"({"id":)" + std::to_string(id) +
+                    R"(,"verb":"run","program":"synthetic"})");
+
+    int ok = 0, overloaded = 0;
+    for (int i = 0; i < 4; ++i) {
+        serve::Response r = client.recv();
+        if (r.ok) {
+            ++ok;
+            EXPECT_LE(r.id, 2u);
+        } else {
+            ++overloaded;
+            EXPECT_EQ(r.error, "overloaded");
+            EXPECT_GE(r.id, 3u);
+        }
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(overloaded, 2);
+
+    obs::ProfileData stats = server.statsProfile(false);
+    EXPECT_EQ(stats.counters.at("serve.overloaded"), 2u);
+
+    server.stop();
+}
+
+TEST(ServeDaemon, BusySessionIsPinnedAgainstEviction)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 1;       // FIFO: the synthetic run starts first
+    cfg.maxSessions = 1;   // the second session must try to evict
+    cfg.sliceCycles = 500; // many slices -> session 1 stays busy
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    client.send(R"({"id":1,"verb":"run","program":"synthetic"})");
+    client.send(R"({"id":2,"verb":"run","program":"fib"})");
+    serve::Response first = client.recv();
+    serve::Response second = client.recv();
+    EXPECT_TRUE(first.ok) << first.message;
+    EXPECT_TRUE(second.ok) << second.message;
+
+    // Inserting the fib session exceeded the capacity while the
+    // synthetic session was mid-run: the eviction must have been
+    // rejected (not torn), and both runs completed correctly.
+    obs::ProfileData stats = server.statsProfile(false);
+    EXPECT_GE(stats.counters.at("serve.cache.evict_rejected"), 1u);
+
+    // After both runs released their sessions the deferred shrink
+    // brings the cache back inside its bound.
+    EXPECT_LE(stats.counters.at("serve.cache.size"), 2u);
+
+    server.stop();
+}
+
+TEST(ServeDaemon, StatsShutdownAndTimelineTrack)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 2;
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    ASSERT_TRUE(
+        client.call(R"({"id":1,"verb":"run","program":"fib"})").ok);
+
+    serve::Response stats = client.call(R"({"id":2,"verb":"stats"})");
+    ASSERT_TRUE(stats.ok);
+    EXPECT_NE(stats.payload.find("serve.requests"), std::string::npos);
+    EXPECT_NE(stats.payload.find("serve.wait_us"), std::string::npos);
+
+    serve::Response bye = client.call(R"({"id":3,"verb":"shutdown"})");
+    EXPECT_TRUE(bye.ok);
+    server.waitForStop();
+    server.stop();
+
+    // The serve-track events render into the timeline under their own
+    // track, stamped with request ids.
+    obs::ProfileData profile = server.statsProfile(false);
+    EXPECT_FALSE(profile.events.empty());
+    std::string trace = obs::toChromeTrace(profile);
+    EXPECT_NE(trace.find("\"serve\""), std::string::npos);
+    EXPECT_NE(trace.find("serve_enqueue"), std::string::npos);
+    EXPECT_NE(trace.find("serve_done"), std::string::npos);
+}
