@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/window.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
 #include "support/json.hh"
@@ -136,6 +137,9 @@ struct MixResult
     double p50Ms = 0;
     double p99Ms = 0;
     double meanMs = 0;
+    /** Server-side service time (daemon histogram), excludes queueing. */
+    double serviceP50Ms = 0;
+    double serviceP99Ms = 0;
     double cacheHitPct = 0;
     uint64_t overloaded = 0;
 };
@@ -249,6 +253,10 @@ runMix(const Mix &mix, size_t requests, unsigned connections,
     for (double v : latency)
         sum += v;
     result.meanMs = sum / static_cast<double>(requests);
+    const obs::HistogramSnapshot &service =
+        stats.histograms.at("serve.service_us");
+    result.serviceP50Ms = obs::histogramPercentile(service, 0.50) / 1e3;
+    result.serviceP99Ms = obs::histogramPercentile(service, 0.99) / 1e3;
     uint64_t hits = stats.counters.at("serve.cache.hits");
     uint64_t misses = stats.counters.at("serve.cache.misses");
     result.cacheHitPct = hits + misses == 0 ?
@@ -325,15 +333,16 @@ try {
         {"churn", churnRequest},
     };
     std::vector<MixResult> results;
-    std::printf("%-6s %10s %10s %9s %9s %9s %7s %6s\n", "mix",
-                "offered/s", "achieved/s", "p50 ms", "p99 ms",
-                "mean ms", "hit %", "rej");
+    std::printf("%-6s %10s %10s %9s %9s %9s %9s %9s %7s %6s\n",
+                "mix", "offered/s", "achieved/s", "p50 ms", "p99 ms",
+                "mean ms", "svc p50", "svc p99", "hit %", "rej");
     for (const Mix &mix : mixes) {
         MixResult r = runMix(mix, requests, connections, workers);
-        std::printf("%-6s %10.1f %10.1f %9.3f %9.3f %9.3f %7.1f "
-                    "%6llu\n",
+        std::printf("%-6s %10.1f %10.1f %9.3f %9.3f %9.3f %9.3f "
+                    "%9.3f %7.1f %6llu\n",
                     r.name.c_str(), r.offeredRps, r.achievedRps,
-                    r.p50Ms, r.p99Ms, r.meanMs, r.cacheHitPct,
+                    r.p50Ms, r.p99Ms, r.meanMs, r.serviceP50Ms,
+                    r.serviceP99Ms, r.cacheHitPct,
                     static_cast<unsigned long long>(r.overloaded));
         results.push_back(std::move(r));
     }
@@ -358,6 +367,8 @@ try {
         jw.key("p50_ms").value(r.p50Ms);
         jw.key("p99_ms").value(r.p99Ms);
         jw.key("mean_ms").value(r.meanMs);
+        jw.key("service_p50_ms").value(r.serviceP50Ms);
+        jw.key("service_p99_ms").value(r.serviceP99Ms);
         jw.key("cache_hit_pct").value(r.cacheHitPct);
         jw.key("overloaded").value(r.overloaded);
         jw.endObject();

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition payload from uhm_serve.
+
+Reads the payload from a file (or stdin when no path is given) and
+checks the subset of the exposition format the daemon emits:
+
+  - ``# HELP <name> <text>`` and ``# TYPE <name> counter|gauge|summary``
+    comment syntax,
+  - metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``,
+  - label blocks are well-formed ``{key="value",...}`` with quoted
+    values,
+  - every sample line's base name (with any ``_sum``/``_count``
+    summary suffix stripped) was announced by a preceding TYPE line,
+  - every sample value parses as a float (``NaN``/``Inf`` allowed).
+
+Usage: check_metrics_format.py [METRICS.txt]
+Exit status: 0 on a clean payload, 1 on any violation, 2 on I/O error.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$")
+LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+                   r'"(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def base_name(name):
+    """A sample's family name: strip the summary/counter suffixes."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text):
+    """Return a list of violation messages (empty = clean)."""
+    errors = []
+    typed = {}
+    helped = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = "line %d" % lineno
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append("%s: malformed comment: %r" % (where, line))
+                continue
+            name = parts[2]
+            if not METRIC_NAME.match(name):
+                errors.append("%s: bad metric name %r" % (where, name))
+            if parts[1] == "HELP":
+                if len(parts) < 4 or not parts[3].strip():
+                    errors.append("%s: HELP without text" % where)
+                helped.add(name)
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    errors.append("%s: unknown TYPE %r" % (where, kind))
+                if name in typed:
+                    errors.append("%s: duplicate TYPE for %r"
+                                  % (where, name))
+                typed[name] = kind
+            continue
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append("%s: malformed sample: %r" % (where, line))
+            continue
+        samples += 1
+        family = base_name(m.group("name"))
+        if family not in typed and m.group("name") not in typed:
+            errors.append("%s: sample %r has no preceding TYPE"
+                          % (where, m.group("name")))
+        labels = m.group("labels")
+        if labels is not None:
+            for item in filter(None, labels.split(",")):
+                lm = LABEL.match(item.strip())
+                if not lm:
+                    errors.append("%s: malformed label %r"
+                                  % (where, item))
+        value = m.group("value")
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("NaN", "+Inf", "-Inf", "Inf"):
+                errors.append("%s: bad sample value %r" % (where, value))
+    if samples == 0:
+        errors.append("no samples found")
+    for name in typed:
+        if name not in helped:
+            errors.append("metric %r has TYPE but no HELP" % name)
+    return errors
+
+
+def main(argv):
+    if len(argv) > 2 or (len(argv) == 2 and argv[1].startswith("-")):
+        print("usage: check_metrics_format.py [METRICS.txt]",
+              file=sys.stderr)
+        return 2
+    try:
+        if len(argv) == 2:
+            with open(argv[1]) as f:
+                text = f.read()
+        else:
+            text = sys.stdin.read()
+    except OSError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 2
+
+    errors = lint(text)
+    for e in errors[:20]:
+        print("error: " + e, file=sys.stderr)
+    if len(errors) > 20:
+        print("error: ... and %d more" % (len(errors) - 20),
+              file=sys.stderr)
+    if errors:
+        return 1
+    families = len(
+        [l for l in text.splitlines() if l.startswith("# TYPE ")])
+    n_samples = len(
+        [l for l in text.splitlines()
+         if l.strip() and not l.startswith("#")])
+    print("ok: %d metric families, %d samples" % (families, n_samples))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,8 +3,11 @@
 
 The timeline is the Chrome trace-event "JSON Array Format": one object
 with a ``traceEvents`` array of metadata ("ph":"M"), complete-span
-("ph":"X") and counter ("ph":"C") events, loadable in Perfetto or
-chrome://tracing. uhm_cli writes it from the machine's typed event ring
+("ph":"X"), counter ("ph":"C") and async begin/end ("ph":"b"/"e")
+events, loadable in Perfetto or chrome://tracing. The async events are
+uhm_serve's per-request span trees: one ``request`` root per request id
+with ``wait``/``acquire``/``slice``/``reply`` children, all carrying
+``cat`` "serve.request" and ``id`` = the request id. uhm_cli writes it from the machine's typed event ring
 (src/obs/timeline.hh documents the span-reconstruction semantics).
 
 Default output is a human summary: per-track span counts and cycle
@@ -35,13 +38,16 @@ EVENT_NAMES = {
     "translate2", "trace_enter", "trace_exit", "trace_evict",
     "trace_invalidate", "sample", "dtb_flush", "sched_slice",
     "sched_switch", "serve_enqueue", "serve_begin", "serve_done",
-    "serve_reject",
+    "serve_reject", "serve_acquire", "serve_slice",
 }
+# Async (ph "b"/"e") names: uhm_serve's per-request span tree.
+ASYNC_NAMES = {"request", "wait", "acquire", "slice", "reply"}
+ASYNC_CAT = "serve.request"
 TRACK_NAMES = {
     "cycle buckets", "ifu", "iu1", "iu2", "translator", "tier",
     "sampler", "sched", "serve",
 }
-PHASES = {"M", "X", "C"}
+PHASES = {"M", "X", "C", "b", "e"}
 
 
 def fail(errors):
@@ -103,6 +109,15 @@ def validate(doc):
         elif ph == "C":
             if "value" not in ev.get("args", {}):
                 errors.append(where + ": C event missing args.value")
+        elif ph in ("b", "e"):
+            if ev.get("cat") != ASYNC_CAT:
+                errors.append("%s: async event cat must be %r (got %r)"
+                              % (where, ASYNC_CAT, ev.get("cat")))
+            if "id" not in ev:
+                errors.append(where + ": async event missing 'id'")
+            if ev.get("name") not in ASYNC_NAMES:
+                errors.append("%s: unknown async span name %r"
+                              % (where, ev.get("name")))
 
     # Every span's tid must have a thread_name metadata record.
     for i, ev in enumerate(events):
@@ -167,6 +182,41 @@ def summarize(doc, top_n):
               % top_n)
         for addr, count in evictions.most_common(top_n):
             print("  dir@%-8d evicted %d times" % (addr, count))
+
+    # Served requests: rebuild each rid's span tree from the async
+    # b/e pairs and break its wall time into wait vs execution.
+    requests = collections.defaultdict(dict)
+    for e in events:
+        if e.get("ph") not in ("b", "e") or e.get("cat") != ASYNC_CAT:
+            continue
+        per_rid = requests[e.get("id")]
+        spans = per_rid.setdefault(e["name"], [])
+        if e["ph"] == "b":
+            spans.append([e["ts"], None, e.get("args", {})])
+        elif spans and spans[-1][1] is None:
+            spans[-1][1] = e["ts"]
+    if requests:
+        rows = []
+        for rid, per_rid in requests.items():
+            root = per_rid.get("request", [[0, 0, {}]])[0]
+            if root[1] is None:
+                continue
+            total = root[1] - root[0]
+            args = root[2]
+            wait = sum(b[1] - b[0] for b in per_rid.get("wait", [])
+                       if b[1] is not None)
+            run = sum(b[1] - b[0] for b in per_rid.get("slice", [])
+                      if b[1] is not None)
+            rows.append((total, wait, run, len(per_rid.get("slice", [])),
+                         args.get("verb", "?"), rid))
+        rows.sort(reverse=True)
+        print("\nserved requests: %d  (top-%d slowest)" %
+              (len(rows), top_n))
+        print("  %-8s %-8s %10s %10s %10s %7s" %
+              ("rid", "verb", "total", "wait", "run", "slices"))
+        for total, wait, run, slices, verb, rid in rows[:top_n]:
+            print("  %-8s %-8s %10d %10d %10d %7d" %
+                  (rid, verb, total, wait, run, slices))
 
 
 def main(argv):

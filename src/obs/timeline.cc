@@ -1,5 +1,9 @@
 #include "obs/timeline.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
 #include "support/json.hh"
 
 namespace uhm::obs
@@ -131,7 +135,130 @@ writeSampleCounters(JsonWriter &jw, const ProfileData &profile)
     }
 }
 
+/**
+ * Group the serve-track events by request id and emit one Chrome
+ * *async* event tree ("ph":"b"/"e", cat "serve.request", id = the rid)
+ * per completed request: an outer `request` span from enqueue to done
+ * enclosing `wait` (enqueue -> first dispatch), `acquire` (dispatch ->
+ * session resolved), one `slice` per runSlice() call and a final
+ * `reply`. Only requests whose enqueue *and* done survived the ring
+ * are stitched — a tree with a missing edge would lie about latency.
+ * The flat per-event spans stay as-is; the trees ride on top.
+ */
+void
+writeServeRequestTrees(JsonWriter &jw, const std::vector<Event> &events)
+{
+    struct RequestEvents
+    {
+        const Event *enqueue = nullptr;
+        const Event *begin = nullptr;
+        const Event *acquire = nullptr;
+        const Event *done = nullptr;
+        std::vector<const Event *> slices;
+    };
+    std::map<uint64_t, RequestEvents> byRid;
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case EventKind::ServeEnqueue: byRid[e.addr].enqueue = &e; break;
+          case EventKind::ServeBegin:   byRid[e.addr].begin = &e;   break;
+          case EventKind::ServeAcquire: byRid[e.addr].acquire = &e; break;
+          case EventKind::ServeDone:    byRid[e.addr].done = &e;    break;
+          case EventKind::ServeSlice:
+            byRid[e.addr].slices.push_back(&e);
+            break;
+          default:
+            break;
+        }
+    }
+
+    const int serveTid = eventKindTrackId(EventKind::ServeEnqueue);
+    for (const auto &[rid, r] : byRid) {
+        if (r.enqueue == nullptr || r.done == nullptr)
+            continue;
+        char id[24];
+        std::snprintf(id, sizeof(id), "%llu",
+                      static_cast<unsigned long long>(rid));
+        auto async = [&](const char *name, const char *ph, uint64_t ts) {
+            beginTraceEvent(jw, name, ph, ts, serveTid);
+            jw.key("cat").value("serve.request");
+            jw.key("id").value(id);
+        };
+
+        async("request", "b", r.enqueue->cycle);
+        jw.key("args").beginObject();
+        jw.key("rid").value(rid);
+        jw.key("verb").value(serveVerbLabel(r.enqueue->arg & 0xFF));
+        jw.key("queue_depth").value(r.enqueue->arg >> 8);
+        jw.endObject();
+        jw.endObject();
+
+        uint64_t last = r.enqueue->cycle;
+        if (r.begin != nullptr) {
+            async("wait", "b", r.enqueue->cycle);
+            jw.key("args").beginObject();
+            jw.key("wait_us").value(r.begin->arg);
+            jw.endObject();
+            jw.endObject();
+            async("wait", "e", r.begin->cycle);
+            jw.endObject();
+            last = r.begin->cycle;
+        }
+        if (r.acquire != nullptr) {
+            async("acquire", "b", last);
+            jw.key("args").beginObject();
+            char session[24];
+            std::snprintf(session, sizeof(session), "%015llx",
+                          static_cast<unsigned long long>(
+                              r.acquire->arg >> 1));
+            jw.key("session").value(session);
+            jw.key("cached").value((r.acquire->arg & 1) != 0);
+            jw.endObject();
+            jw.endObject();
+            async("acquire", "e", r.acquire->cycle);
+            jw.endObject();
+            last = r.acquire->cycle;
+        }
+        for (const Event *slice : r.slices) {
+            uint64_t dur = slice->arg & 0xFFFFF;
+            uint64_t start =
+                slice->cycle >= dur ? slice->cycle - dur : 0;
+            async("slice", "b", std::max(start, last));
+            jw.key("args").beginObject();
+            jw.key("cycles").value(slice->arg >> 20);
+            jw.endObject();
+            jw.endObject();
+            async("slice", "e", slice->cycle);
+            jw.endObject();
+            last = slice->cycle;
+        }
+        uint64_t done = std::max(r.done->cycle, last);
+        async("reply", "b", std::min(last, done));
+        jw.key("args").beginObject();
+        jw.key("service_us").value(r.done->arg);
+        jw.endObject();
+        jw.endObject();
+        async("reply", "e", done);
+        jw.endObject();
+
+        async("request", "e", done);
+        jw.endObject();
+    }
+}
+
 } // anonymous namespace
+
+const char *
+serveVerbLabel(uint64_t verb)
+{
+    // Mirrors serve::verbName() by index; obs cannot depend on serve,
+    // so serve_test cross-checks the two tables stay in lockstep.
+    static constexpr const char *labels[] = {
+        "ping", "compile", "encode", "run", "profile", "sweep",
+        "stats", "shutdown", "metrics",
+    };
+    constexpr uint64_t n = sizeof(labels) / sizeof(labels[0]);
+    return verb < n ? labels[verb] : "?";
+}
 
 const char *
 eventKindTrack(EventKind kind)
@@ -174,6 +301,8 @@ eventKindTrackId(EventKind kind)
       case EventKind::ServeBegin:
       case EventKind::ServeDone:
       case EventKind::ServeReject:
+      case EventKind::ServeAcquire:
+      case EventKind::ServeSlice:
         return 8; // serve
     }
     return overviewTid;
@@ -209,6 +338,7 @@ toChromeTrace(const ProfileData &profile)
     writeMetadataEvents(jw, profile);
     writeBucketSpans(jw, profile);
     writeSpanEvents(jw, buildTimelineSpans(profile.events));
+    writeServeRequestTrees(jw, profile.events);
     writeSampleCounters(jw, profile);
     jw.endArray();
     jw.key("displayTimeUnit").value("ms");

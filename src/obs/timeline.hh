@@ -64,6 +64,14 @@ const char *eventKindTrack(EventKind kind);
 int eventKindTrackId(EventKind kind);
 
 /**
+ * Display label of the serve verb index packed into a ServeEnqueue
+ * arg's low byte ("run", "metrics", ...; "?" when out of range).
+ * Mirrors serve::verbName() by enum value — obs cannot link against
+ * serve, so tests/serve_test.cc checks the two tables agree.
+ */
+const char *serveVerbLabel(uint64_t verb);
+
+/**
  * Reconstruct duration spans from a cycle-ordered event stream: span i
  * runs from the previous event's stamp to event i's stamp and carries
  * event i's kind/addr/arg. The first event opens at its own stamp (a
@@ -75,11 +83,14 @@ buildTimelineSpans(const std::vector<Event> &events);
 /**
  * Render @p profile as one Chrome trace-event JSON document:
  * process/thread metadata, one overview span per cycle bucket, one
- * complete ("ph":"X") event per reconstructed span, and counter
- * ("ph":"C") series from the occupancy samples. Timestamps are the
- * machine cycle counter, written as trace microseconds. `otherData`
- * carries the profile meta and the events seen/dropped totals, so a
- * truncated timeline is detectable from the file alone.
+ * complete ("ph":"X") event per reconstructed span, async ("ph":"b"/
+ * "e", cat "serve.request") per-request span trees stitched from the
+ * serve-track events by request id (enqueue -> wait -> acquire ->
+ * slices -> reply), and counter ("ph":"C") series from the occupancy
+ * samples. Timestamps are the machine cycle counter (server
+ * microseconds on the serve track), written as trace microseconds.
+ * `otherData` carries the profile meta and the events seen/dropped
+ * totals, so a truncated timeline is detectable from the file alone.
  */
 std::string toChromeTrace(const ProfileData &profile);
 

@@ -33,6 +33,8 @@ eventKindName(EventKind kind)
       case EventKind::ServeBegin:      return "serve_begin";
       case EventKind::ServeDone:       return "serve_done";
       case EventKind::ServeReject:     return "serve_reject";
+      case EventKind::ServeAcquire:    return "serve_acquire";
+      case EventKind::ServeSlice:      return "serve_slice";
     }
     return "?";
 }

@@ -48,16 +48,23 @@ enum class EventKind : uint8_t
     SchedSwitch,     ///< scheduler switched tenants; addr = tenant id
     // Serving events (src/serve). The server has no simulated clock, so
     // these are stamped with microseconds since server start instead of
-    // machine cycles; the addr is always the request id.
-    ServeEnqueue,    ///< request admitted; arg = requests in flight
+    // machine cycles; the addr is always the server-assigned monotonic
+    // request id (rid), which is what lets the timeline exporter stitch
+    // one request's events into a single span tree.
+    ServeEnqueue,    ///< request admitted;
+                     ///< arg = (queue depth << 8) | verb index
     ServeBegin,      ///< first slice dispatched; arg = wait in us
     ServeDone,       ///< response written; arg = service time in us
     ServeReject,     ///< backpressure rejection; arg = requests in flight
+    ServeAcquire,    ///< session resolved; arg = (session key hash << 1)
+                     ///< | cache-hit bit
+    ServeSlice,      ///< one runSlice() finished; arg = (cycles consumed
+                     ///< << 20) | slice wall time in us (both saturating)
 };
 
 /** Number of distinct EventKind values. */
 inline constexpr size_t numEventKinds =
-    static_cast<size_t>(EventKind::ServeReject) + 1;
+    static_cast<size_t>(EventKind::ServeSlice) + 1;
 
 /**
  * Every EventKind, in declaration order. The timeline exporter's
@@ -77,6 +84,7 @@ inline constexpr EventKind allEventKinds[numEventKinds] = {
     EventKind::SchedSlice,  EventKind::SchedSwitch,
     EventKind::ServeEnqueue, EventKind::ServeBegin,
     EventKind::ServeDone,    EventKind::ServeReject,
+    EventKind::ServeAcquire, EventKind::ServeSlice,
 };
 
 /** Stable lowercase name of @p kind ("dtb_miss"). */

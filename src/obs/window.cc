@@ -1,0 +1,143 @@
+#include "obs/window.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uhm::obs
+{
+
+double
+histogramPercentile(const HistogramSnapshot &snap, double q)
+{
+    if (snap.count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return static_cast<double>(snap.min);
+    if (q >= 1.0)
+        return static_cast<double>(snap.max);
+
+    // Nearest-rank: the 1-based index of the observation that answers
+    // the quantile in the sorted fill.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(snap.count)));
+    rank = std::clamp<uint64_t>(rank, 1, snap.count);
+
+    uint64_t before = 0;
+    for (const auto &[bucket, n] : snap.buckets) {
+        if (before + n < rank) {
+            before += n;
+            continue;
+        }
+        // The global min/max tighten the edge buckets: only the first
+        // non-empty bucket can start below min and only the last can
+        // end above max, so this clamp is exact where it applies.
+        uint64_t lo = std::max(histogramBucketLow(bucket), snap.min);
+        uint64_t hi = std::min(histogramBucketHigh(bucket), snap.max);
+        if (hi <= lo || n == 1)
+            return static_cast<double>(lo);
+        // Place the bucket's n observations evenly across [lo, hi];
+        // the rank'th one sits at fraction (rank - before - 1)/(n - 1).
+        double f = static_cast<double>(rank - before - 1) /
+            static_cast<double>(n - 1);
+        return static_cast<double>(lo) +
+            f * static_cast<double>(hi - lo);
+    }
+    return static_cast<double>(snap.max);
+}
+
+uint64_t
+WindowSnapshot::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+RollingWindow::RollingWindow(uint64_t window_us, size_t buckets)
+    : windowUs_(std::max<uint64_t>(window_us, 1))
+{
+    buckets = std::max<size_t>(buckets, 1);
+    bucketUs_ = std::max<uint64_t>(windowUs_ / buckets, 1);
+    ring_.resize(buckets);
+}
+
+RollingWindow::Bucket &
+RollingWindow::bucketFor(uint64_t now_us)
+{
+    const uint64_t idx = now_us / bucketUs_;
+    const uint64_t n = ring_.size();
+    if (idx > latest_) {
+        // Time advanced: everything that slid out of the window must
+        // die now, not when its slot is next reused, or snapshot()
+        // would keep reporting it.
+        for (Bucket &b : ring_) {
+            if (b.index != unusedIndex && b.index + n <= idx)
+                b = Bucket{};
+        }
+        latest_ = idx;
+    } else if (idx + n <= latest_) {
+        // A record stamped before it reached the lock, now older than
+        // the whole window: count it into the oldest slot we still
+        // track rather than resurrecting an expired bucket.
+        return bucketFor(latest_ * bucketUs_);
+    }
+    Bucket &b = ring_[idx % n];
+    if (b.index != idx) {
+        b = Bucket{};
+        b.index = idx;
+    }
+    return b;
+}
+
+void
+RollingWindow::count(const std::string &name, uint64_t now_us,
+                     uint64_t delta)
+{
+    bucketFor(now_us).counters[name] += delta;
+}
+
+void
+RollingWindow::record(const std::string &name, uint64_t now_us,
+                      uint64_t value)
+{
+    bucketFor(now_us).histograms[name].record(value);
+}
+
+WindowSnapshot
+RollingWindow::snapshot() const
+{
+    WindowSnapshot out;
+    out.windowUs = windowUs_;
+
+    // Oldest first, so spanUs and any order-sensitive consumer see the
+    // buckets as a time series (the merges themselves are commutative).
+    std::vector<const Bucket *> live;
+    for (const Bucket &b : ring_) {
+        if (b.index != unusedIndex)
+            live.push_back(&b);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Bucket *a, const Bucket *b) {
+                  return a->index < b->index;
+              });
+    if (!live.empty())
+        out.spanUs =
+            (live.back()->index - live.front()->index + 1) * bucketUs_;
+
+    for (const Bucket *b : live) {
+        for (const auto &[name, value] : b->counters)
+            out.counters[name] += value;
+        for (const auto &[name, hist] : b->histograms)
+            out.histograms[name].merge(hist.snapshot());
+    }
+    return out;
+}
+
+void
+RollingWindow::reset()
+{
+    for (Bucket &b : ring_)
+        b = Bucket{};
+    latest_ = 0;
+}
+
+} // namespace uhm::obs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Rolling-window aggregation over counters and histograms.
+ *
+ * The lifetime counters answer "what happened since the daemon
+ * started"; a live monitor needs "what is happening *now*". A
+ * RollingWindow keeps the recent past in a ring of fixed-width time
+ * buckets: each record lands in the bucket covering its timestamp,
+ * buckets older than the window are cleared as time advances, and a
+ * snapshot merges the live buckets into one counter map plus one
+ * HistogramSnapshot per series.
+ *
+ * Two properties matter for the serving stack:
+ *
+ *  - Time advances only on record(). snapshot() is a pure read of
+ *    frozen state, so a quiesced daemon answers every monitoring query
+ *    with identical bytes no matter when, or how concurrently, it is
+ *    asked — the byte-identity contract of the `metrics` verb.
+ *  - Merging is per-bucket addition (HistogramSnapshot::merge), so a
+ *    snapshot depends only on what was recorded, never on scheduling.
+ *
+ * The class is externally synchronized: the server calls it under its
+ * stats mutex, exactly like the lifetime histograms next to it.
+ *
+ * histogramPercentile() is the shared quantile extractor over the
+ * log2-bucketed HistogramSnapshot: the `metrics` verb, the watch
+ * client and bench_serve all report percentiles through it, so a value
+ * computed independently from a `stats` histogram matches the served
+ * one exactly.
+ */
+
+#ifndef UHM_OBS_WINDOW_HH
+#define UHM_OBS_WINDOW_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace uhm::obs
+{
+
+/**
+ * Quantile @p q (0..1) of @p snap under the log2-bucket model:
+ * nearest-rank selection of the bucket, then linear placement of the
+ * rank's observation across the bucket's clamped [low, high] range
+ * (clamped by the snapshot's global min/max, so a single-valued fill
+ * reports that value exactly for every quantile). A lone observation
+ * in a bucket reports the clamped bucket low. Returns 0.0 on an empty
+ * snapshot.
+ */
+double histogramPercentile(const HistogramSnapshot &snap, double q);
+
+/** One merged view of the window (plain data). */
+struct WindowSnapshot
+{
+    /** Nominal window width in microseconds. */
+    uint64_t windowUs = 0;
+    /** Time actually covered by live buckets (<= windowUs). */
+    uint64_t spanUs = 0;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** Counter by name (0 when absent). */
+    uint64_t counter(const std::string &name) const;
+};
+
+/** Ring of time buckets over named counters and histograms. */
+class RollingWindow
+{
+  public:
+    /**
+     * @param window_us  window width (min 1 us)
+     * @param buckets    ring granularity: the window is covered by this
+     *                   many equal buckets (min 1), so expiry happens
+     *                   in window/buckets steps rather than all at once
+     */
+    explicit RollingWindow(uint64_t window_us, size_t buckets = 16);
+
+    /** Add @p delta to counter @p name at time @p now_us. */
+    void count(const std::string &name, uint64_t now_us,
+               uint64_t delta = 1);
+
+    /** Record @p value into histogram @p name at time @p now_us. */
+    void record(const std::string &name, uint64_t now_us,
+                uint64_t value);
+
+    /**
+     * Merge the live buckets, oldest first. Pure: does not advance
+     * time, so repeated snapshots of an idle window are identical.
+     */
+    WindowSnapshot snapshot() const;
+
+    /** Forget everything (the window restarts at the next record). */
+    void reset();
+
+    uint64_t windowUs() const { return windowUs_; }
+    uint64_t bucketUs() const { return bucketUs_; }
+
+  private:
+    struct Bucket
+    {
+        /** Absolute bucket index (start time / bucketUs_); ~0 = free. */
+        uint64_t index = unusedIndex;
+        std::map<std::string, uint64_t> counters;
+        std::map<std::string, Histogram> histograms;
+    };
+
+    static constexpr uint64_t unusedIndex = ~uint64_t{0};
+
+    /** The ring bucket covering @p now_us, expiring stale slots. */
+    Bucket &bucketFor(uint64_t now_us);
+
+    uint64_t windowUs_;
+    uint64_t bucketUs_;
+    /** Largest absolute bucket index any record has reached. */
+    uint64_t latest_ = 0;
+    std::vector<Bucket> ring_;
+};
+
+} // namespace uhm::obs
+
+#endif // UHM_OBS_WINDOW_HH

@@ -57,6 +57,7 @@ SessionCache::build(const Request &req, const std::string &key)
 {
     auto session = std::make_shared<Session>();
     session->key = key;
+    session->keyHash = fnv1a(key.data(), key.size());
     if (!req.source.empty()) {
         session->label = req.program;
         session->program = hlr::compileSource(req.source);

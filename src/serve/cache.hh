@@ -40,6 +40,10 @@ struct Session
 {
     /** Cache key (empty for transient sessions). */
     std::string key;
+    /** FNV-1a of the cache key — the session tag serve-track acquire
+     *  events carry (stable even for transient sessions, whose key is
+     *  cleared on the losing side of a build race). */
+    uint64_t keyHash = 0;
     /** Program name for profile meta (mirrors uhm_cli's). */
     std::string label;
     DirProgram program;

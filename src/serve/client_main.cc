@@ -14,6 +14,9 @@
  * and the CI smoke job.
  */
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,6 +49,12 @@ struct Options
     std::string rawJson;
     unsigned jobs = 1;
     uint64_t id = 0;
+    /** metrics payload format ("" = daemon default, json). */
+    std::string format;
+    /** --watch refresh period; watching when > 0. */
+    double watchSecs = 0.0;
+    /** --count: watch iterations (0 = until interrupted). */
+    uint64_t count = 0;
 };
 
 void
@@ -62,7 +71,13 @@ printHelp(std::FILE *out)
         "  --socket=PATH      daemon socket "
         "(default /tmp/uhm_serve.sock)\n"
         "  --verb=V           ping|compile|encode|run|profile|sweep|"
-        "stats|shutdown (default run)\n"
+        "stats|metrics|shutdown (default run)\n"
+        "  --format=F         metrics payload: json|prometheus "
+        "(default json)\n"
+        "  --watch=SECS       live monitor: poll the metrics verb "
+        "every SECS seconds\n"
+        "  --count=N          stop --watch after N refreshes "
+        "(default: until ^C)\n"
         "  --machine=KIND     conventional|cached|dtb|dtb2|tiered\n"
         "  --encoding=E       expanded|packed|contextual|huffman|"
         "pair-huffman|quantized\n"
@@ -118,6 +133,14 @@ parseArgs(int argc, char **argv)
         else if (arg.rfind("--jobs=", 0) == 0)
             opts.jobs = static_cast<unsigned>(
                 std::stoul(value("--jobs=")));
+        else if (arg.rfind("--format=", 0) == 0)
+            opts.format = value("--format=");
+        else if (arg.rfind("--watch=", 0) == 0) {
+            opts.watchSecs = std::stod(value("--watch="));
+            if (!(opts.watchSecs > 0.0))
+                uhm::fatal("--watch=SECS needs a positive interval");
+        } else if (arg.rfind("--count=", 0) == 0)
+            opts.count = std::stoull(value("--count="));
         else if (arg.rfind("--json=", 0) == 0)
             opts.rawJson = value("--json=");
         else if (arg == "--help" || arg == "-h") {
@@ -173,6 +196,8 @@ buildRequest(const Options &opts, uint64_t id)
         jw.key("disasm").value(true);
     if (opts.reset)
         jw.key("reset").value(true);
+    if (!opts.format.empty())
+        jw.key("format").value(opts.format);
     jw.endObject();
     return jw.str();
 }
@@ -210,10 +235,123 @@ printResponse(const Options &opts, const uhm::serve::Response &r)
         if (!out)
             uhm::fatal("cannot open '%s'", opts.outPath.c_str());
         out << r.payload;
-    } else if (opts.verb == "sweep" || opts.verb == "stats") {
+    } else if (opts.verb == "sweep" || opts.verb == "stats" ||
+               opts.verb == "metrics") {
         std::fputs(r.payload.c_str(), stdout);
     } else {
         std::fputs(r.payload.c_str(), stderr);
+    }
+    return 0;
+}
+
+/** Numeric member of @p v by @p key (0.0 when absent). */
+double
+num(const uhm::serve::JsonValue &v, const char *key)
+{
+    const uhm::serve::JsonValue *m = v.find(key);
+    if (m == nullptr)
+        return 0.0;
+    return m->kind == uhm::serve::JsonValue::Kind::Int ?
+        static_cast<double>(m->integer) : m->number;
+}
+
+/** One "  name   p50 .. p99 .. mean .. max .. (n)" quantile row. */
+void
+printQuantileRow(const char *label, const uhm::serve::JsonValue &scope,
+                 const char *key)
+{
+    const uhm::serve::JsonValue *q = scope.find(key);
+    if (q == nullptr)
+        return;
+    std::printf("  %-12s p50 %9.1f  p95 %9.1f  p99 %9.1f  "
+                "mean %9.1f  max %9.0f  (n=%llu)\n",
+                label, num(*q, "p50"), num(*q, "p95"), num(*q, "p99"),
+                num(*q, "mean"), num(*q, "max"),
+                static_cast<unsigned long long>(num(*q, "count")));
+}
+
+/** Render one --watch frame from a parsed metrics payload. */
+void
+renderMetrics(const uhm::serve::JsonValue &m)
+{
+    const uhm::serve::JsonValue *w = m.find("window");
+    const uhm::serve::JsonValue *l = m.find("lifetime");
+    const uhm::serve::JsonValue *e = m.find("events");
+    std::printf("uhm_serve metrics  (window %.0fs, span %.1fs)\n",
+                num(m, "window_us") / 1e6, num(m, "span_us") / 1e6);
+    if (w != nullptr) {
+        const uhm::serve::JsonValue *cache = w->find("cache");
+        std::printf("  %-12s %9.1f rps   requests %llu   errors %llu   "
+                    "overloaded %llu\n",
+                    "window", num(*w, "rps"),
+                    static_cast<unsigned long long>(num(*w, "requests")),
+                    static_cast<unsigned long long>(num(*w, "errors")),
+                    static_cast<unsigned long long>(
+                        num(*w, "overloaded")));
+        if (cache != nullptr)
+            std::printf("  %-12s %5.1f%% hit rate  (%llu hits, "
+                        "%llu misses)\n",
+                        "cache", num(*cache, "hit_rate") * 100.0,
+                        static_cast<unsigned long long>(
+                            num(*cache, "hits")),
+                        static_cast<unsigned long long>(
+                            num(*cache, "misses")));
+        printQuantileRow("wait_us", *w, "wait_us");
+        printQuantileRow("service_us", *w, "service_us");
+        printQuantileRow("slice_us", *w, "slice_us");
+        printQuantileRow("queue_depth", *w, "queue_depth");
+    }
+    if (l != nullptr)
+        std::printf("  %-12s requests %llu   responses %llu   "
+                    "errors %llu   inflight %llu\n",
+                    "lifetime",
+                    static_cast<unsigned long long>(num(*l, "requests")),
+                    static_cast<unsigned long long>(
+                        num(*l, "responses")),
+                    static_cast<unsigned long long>(num(*l, "errors")),
+                    static_cast<unsigned long long>(
+                        num(*l, "inflight")));
+    if (e != nullptr)
+        std::printf("  %-12s %llu seen, %llu dropped "
+                    "(drop rate %.4f)\n",
+                    "events",
+                    static_cast<unsigned long long>(num(*e, "seen")),
+                    static_cast<unsigned long long>(num(*e, "dropped")),
+                    num(*e, "drop_rate"));
+    std::fflush(stdout);
+}
+
+/** The --watch loop: poll the metrics verb until --count or ^C. */
+int
+watchLoop(const Options &opts)
+{
+    uhm::serve::Client client(opts.socketPath);
+    const bool clear = isatty(STDOUT_FILENO) != 0;
+    for (uint64_t i = 0; opts.count == 0 || i < opts.count; ++i) {
+        if (i != 0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                opts.watchSecs));
+        Options req = opts;
+        req.verb = "metrics";
+        uhm::serve::Response r = client.call(
+            buildRequest(req, opts.id + i));
+        if (!r.ok) {
+            std::fprintf(stderr, "error: %s: %s\n", r.error.c_str(),
+                         r.message.c_str());
+            return 1;
+        }
+        if (clear)
+            std::fputs("\033[H\033[2J", stdout);
+        if (opts.format == "prometheus") {
+            std::fputs(r.payload.c_str(), stdout);
+            std::fflush(stdout);
+            continue;
+        }
+        uhm::serve::JsonValue metrics;
+        std::string err;
+        if (!uhm::serve::parseJson(r.payload, metrics, err))
+            uhm::fatal("bad metrics payload: %s", err.c_str());
+        renderMetrics(metrics);
     }
     return 0;
 }
@@ -224,6 +362,9 @@ int
 main(int argc, char **argv)
 try {
     Options opts = parseArgs(argc, argv);
+
+    if (opts.watchSecs > 0.0)
+        return watchLoop(opts);
 
     if (opts.jobs <= 1) {
         uhm::serve::Client client(opts.socketPath);

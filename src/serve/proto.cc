@@ -379,6 +379,7 @@ verbName(Verb verb)
       case Verb::Sweep:    return "sweep";
       case Verb::Stats:    return "stats";
       case Verb::Shutdown: return "shutdown";
+      case Verb::Metrics:  return "metrics";
     }
     return "?";
 }
@@ -389,6 +390,7 @@ parseVerb(const std::string &name, Verb &out)
     static constexpr Verb verbs[] = {
         Verb::Ping, Verb::Compile, Verb::Encode,   Verb::Run,
         Verb::Profile, Verb::Sweep, Verb::Stats, Verb::Shutdown,
+        Verb::Metrics,
     };
     for (Verb verb : verbs) {
         if (name == verbName(verb)) {
@@ -540,6 +542,15 @@ parseRequest(const std::string &line, Request &out, std::string &err)
         } else if (key == "reset") {
             if (!wantBool(v, "reset", out.resetStats))
                 return false;
+        } else if (key == "format") {
+            if (!wantString(v, "format", out.format))
+                return false;
+            if (out.format != "json" && out.format != "prometheus") {
+                err = "'format' must be \"json\" or \"prometheus\" "
+                      "(got '" + out.format + "')";
+                return false;
+            }
+            out.formatGiven = true;
         } else if (key == "programs") {
             if (v.kind != JsonValue::Kind::Array) {
                 err = "'programs' must be an array of names";
@@ -569,6 +580,13 @@ parseRequest(const std::string &line, Request &out, std::string &err)
         err = "'" + out.tierFieldSeen +
             "' only applies to \"machine\":\"tiered\" (got '" +
             machineKindName(out.machine.kind) + "')";
+        return false;
+    }
+    // A payload format on a verb that has no formattable payload is a
+    // typo'd request, not a preference — same contract as tier fields.
+    if (out.formatGiven && out.verb != Verb::Metrics) {
+        err = "'format' only applies to \"verb\":\"metrics\" (got '" +
+            std::string(verbName(out.verb)) + "')";
         return false;
     }
     if (out.verb == Verb::Profile)

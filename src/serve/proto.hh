@@ -15,7 +15,7 @@
  * are rejected so a typo cannot silently change a run):
  *
  *   {"verb": "ping" | "compile" | "encode" | "run" | "profile" |
- *            "sweep" | "stats" | "shutdown",      // required
+ *            "sweep" | "stats" | "shutdown" | "metrics", // required
  *    "id": <uint>,                 // echoed in the response (default 0)
  *    "program": <sample name | "synthetic">,
  *    "source": <inline Contour source, overrides "program">,
@@ -32,7 +32,18 @@
  *    "profile": <bool>,            // run: attach the profile payload
  *    "disasm": <bool>,             // compile: attach the disassembly
  *    "programs": [<name>, ...],    // sweep points (default: the corpus)
- *    "reset": <bool>}              // stats: zero the counters after
+ *    "reset": <bool>,              // stats: zero the counters after
+ *    "format": "json"|"prometheus"} // metrics payload format
+ *
+ * The metrics verb returns the rolling-window + lifetime aggregates
+ * (src/obs/window.hh) as one JSON line ("format":"json", the default)
+ * or as a Prometheus text-exposition payload ("format":"prometheus").
+ * The prometheus payload's lines are verbatim text, not JSON — the
+ * one payload whose lines are not JSONL; framing is unaffected since
+ * clients count lines, never parse them. Monitoring verbs (stats,
+ * metrics) are excluded from the latency/queue ledger they report,
+ * so a quiesced daemon answers concurrent metrics requests with
+ * byte-identical payloads.
  *
  * Response header:
  *
@@ -157,6 +168,7 @@ enum class Verb : uint8_t
     Sweep,    ///< batch sweep; payload = the sweep JSONL report
     Stats,    ///< serve.* counters/histograms as a profile payload
     Shutdown, ///< acknowledge, then stop the server
+    Metrics,  ///< rolling-window + lifetime aggregates (json/prometheus)
 };
 
 /** Printable verb name ("run"). */
@@ -187,6 +199,11 @@ struct Request
     bool resetStats = false;
     /** Sweep points; empty = the whole sample corpus + synthetic. */
     std::vector<std::string> programs;
+    /** Metrics payload format ("json" or "prometheus"). */
+    std::string format = "json";
+    /** True when the request carried an explicit "format" (only legal
+     *  on the metrics verb, like tier fields on a tiered machine). */
+    bool formatGiven = false;
 };
 
 /**

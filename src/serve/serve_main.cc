@@ -51,6 +51,10 @@ printHelp(std::FILE *out)
         "(default 50000)\n"
         "  --timeline=FILE      dump the serve-track Chrome trace on "
         "exit\n"
+        "  --timeline-events=N  serve-track event ring capacity "
+        "(default 1048576)\n"
+        "  --window=SECS        rolling metrics window width "
+        "(default 60)\n"
         "  --stats              dump serve.* counters to stderr on "
         "exit\n"
         "  --help               this text\n",
@@ -71,6 +75,23 @@ try {
         auto value = [&](const char *prefix) -> std::string {
             return arg.substr(std::strlen(prefix));
         };
+        // Strict positive integer: the whole text must parse and the
+        // result must be >= 1, so `--timeline-events=0` (a ring that
+        // can hold nothing) and trailing garbage both fail loudly.
+        auto uintValue = [&](const char *prefix) -> uint64_t {
+            const std::string text = value(prefix);
+            uint64_t parsed = 0;
+            size_t used = 0;
+            try {
+                parsed = std::stoull(text, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (text.empty() || used != text.size() || parsed == 0)
+                uhm::fatal("%sN needs a positive integer (got '%s')",
+                           prefix, text.c_str());
+            return parsed;
+        };
         if (arg.rfind("--socket=", 0) == 0)
             cfg.socketPath = value("--socket=");
         else if (arg.rfind("--workers=", 0) == 0)
@@ -84,6 +105,10 @@ try {
             cfg.sliceCycles = std::stoull(value("--slice-cycles="));
         else if (arg.rfind("--timeline=", 0) == 0)
             timeline_path = value("--timeline=");
+        else if (arg.rfind("--timeline-events=", 0) == 0)
+            cfg.eventCapacity = uintValue("--timeline-events=");
+        else if (arg.rfind("--window=", 0) == 0)
+            cfg.windowUs = uintValue("--window=") * 1'000'000;
         else if (arg == "--stats")
             stats = true;
         else if (arg == "--help" || arg == "-h") {

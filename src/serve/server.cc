@@ -5,12 +5,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "bench_common.hh"
 #include "hlr/compiler.hh"
 #include "obs/emit.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "uhm/profile.hh"
 #include "workload/samples.hh"
@@ -61,7 +64,8 @@ Connection::writeBlock(const std::string &text)
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)), cache_(config_.maxSessions),
-      epoch_(std::chrono::steady_clock::now())
+      epoch_(std::chrono::steady_clock::now()),
+      window_(config_.windowUs)
 {
     tracer_.enable(config_.eventCapacity);
 }
@@ -179,21 +183,42 @@ Server::admitLine(const std::shared_ptr<Connection> &conn,
                                      "the server is stopping") + "\n");
         return;
     }
+    // Monitoring verbs bypass the workload ledger *and* the admission
+    // bound: the overload path must stay observable from outside.
+    const bool monitoring =
+        req.verb == Verb::Stats || req.verb == Verb::Metrics;
+    const uint64_t now = nowUs();
     bool rejected = false;
+    uint64_t rid = 0;
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++requests_;
-        if (inflight_ >= config_.maxQueue) {
-            ++overloaded_;
-            ++errors_;
-            tracer_.record(obs::EventKind::ServeReject, nowUs(), req.id,
-                           inflight_);
-            rejected = true;
+        rid = ++nextRid_;
+        if (monitoring) {
+            ++monitoringRequests_;
+            ++monitoringInflight_;
         } else {
-            ++inflight_;
-            queueDepth_.record(inflight_);
-            tracer_.record(obs::EventKind::ServeEnqueue, nowUs(),
-                           req.id, inflight_);
+            ++verbCounts_[verbName(req.verb)];
+            window_.count("requests", now);
+            window_.count(std::string("verb.") + verbName(req.verb),
+                          now);
+            if (inflight_ >= config_.maxQueue) {
+                ++overloaded_;
+                ++errors_;
+                tracer_.record(obs::EventKind::ServeReject, now, rid,
+                               inflight_);
+                window_.count("overloaded", now);
+                window_.count("errors", now);
+                rejected = true;
+            } else {
+                ++inflight_;
+                queueDepth_.record(inflight_);
+                window_.record("queue_depth", now, inflight_);
+                tracer_.record(
+                    obs::EventKind::ServeEnqueue, now, rid,
+                    (static_cast<uint64_t>(inflight_) << 8) |
+                        static_cast<uint64_t>(req.verb));
+            }
         }
     }
     if (rejected) {
@@ -206,7 +231,9 @@ Server::admitLine(const std::shared_ptr<Connection> &conn,
     auto p = std::make_shared<Pending>();
     p->conn = conn;
     p->req = std::move(req);
-    p->enqueueUs = nowUs();
+    p->rid = rid;
+    p->monitoring = monitoring;
+    p->enqueueUs = now;
     pool_->submit([this, p] { startRequest(p); });
 }
 
@@ -214,10 +241,10 @@ void
 Server::startRequest(std::shared_ptr<Pending> p)
 {
     p->beginUs = nowUs();
-    {
+    if (!p->monitoring) {
         std::lock_guard<std::mutex> lock(statsMutex_);
         tracer_.record(obs::EventKind::ServeBegin, p->beginUs,
-                       p->req.id, p->beginUs - p->enqueueUs);
+                       p->rid, p->beginUs - p->enqueueUs);
     }
     try {
         switch (p->req.verb) {
@@ -237,9 +264,16 @@ Server::startRequest(std::shared_ptr<Pending> p)
                           obs::renderProfileJsonl(profile));
             return;
           }
+          case Verb::Metrics: {
+            finishRequest(p, ResponseInfo{},
+                          p->req.format == "prometheus" ?
+                              metricsProm() : metricsJson());
+            return;
+          }
           case Verb::Compile:
           case Verb::Encode: {
             p->session = cache_.acquire(p->req, p->cached);
+            recordAcquire(p);
             ResponseInfo info;
             info.hasCached = true;
             info.cached = p->cached;
@@ -258,6 +292,7 @@ Server::startRequest(std::shared_ptr<Pending> p)
           case Verb::Run:
           case Verb::Profile: {
             p->session = cache_.acquire(p->req, p->cached);
+            recordAcquire(p);
             const std::vector<int64_t> &input = p->req.inputGiven ?
                 p->req.input : p->session->defaultInput;
             p->session->machine->beginRun(input);
@@ -317,10 +352,36 @@ Server::startRequest(std::shared_ptr<Pending> p)
 }
 
 void
+Server::recordAcquire(const std::shared_ptr<Pending> &p)
+{
+    const uint64_t now = nowUs();
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    tracer_.record(obs::EventKind::ServeAcquire, now, p->rid,
+                   (p->session->keyHash << 1) |
+                       static_cast<uint64_t>(p->cached ? 1 : 0));
+    window_.count(p->cached ? "cache.hits" : "cache.misses", now);
+}
+
+void
 Server::runSliceStep(std::shared_ptr<Pending> p)
 {
+    const uint64_t sliceStartUs = nowUs();
     try {
-        p->session->machine->runSlice(config_.sliceCycles);
+        uint64_t consumed =
+            p->session->machine->runSlice(config_.sliceCycles);
+        {
+            const uint64_t end = nowUs();
+            const uint64_t sliceUs = end - sliceStartUs;
+            // arg packing: low 20 bits wall microseconds, high 44 bits
+            // simulated cycles, both saturating.
+            const uint64_t cyc =
+                std::min<uint64_t>(consumed, (uint64_t{1} << 44) - 1);
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            tracer_.record(obs::EventKind::ServeSlice, end, p->rid,
+                           (cyc << 20) |
+                               std::min<uint64_t>(sliceUs, 0xFFFFF));
+            window_.record("slice_us", end, sliceUs);
+        }
         if (!p->session->machine->finished()) {
             pool_->submit([this, p] { runSliceStep(p); });
             return;
@@ -368,37 +429,86 @@ Server::finishRequest(const std::shared_ptr<Pending> &p,
     info.serviceUs = end - p->beginUs;
     std::string text =
         successHeader(info, countLines(payload)) + "\n" + payload;
-    p->conn->writeBlock(text);
+    // Record before writing: once a client holds the response, the
+    // request's latency is visible in stats/metrics — the ordering the
+    // serve tests lean on.
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++responses_;
-        waitUs_.record(info.waitUs);
-        serviceUs_.record(info.serviceUs);
-        tracer_.record(obs::EventKind::ServeDone, end, p->req.id,
-                       info.serviceUs);
+        if (p->monitoring) {
+            ++monitoringResponses_;
+        } else {
+            waitUs_.record(info.waitUs);
+            serviceUs_.record(info.serviceUs);
+            window_.count("responses", end);
+            window_.record("wait_us", end, info.waitUs);
+            window_.record("service_us", end, info.serviceUs);
+            tracer_.record(obs::EventKind::ServeDone, end, p->rid,
+                           info.serviceUs);
+        }
+        maybeWarnDropsLocked();
+        // Release the slot with the stats, not after the write: a
+        // client holding its response must find the daemon's ledger
+        // fully settled (the metrics byte-identity contract). The
+        // writing_ count keeps stop()'s drain honest about the send.
+        retireLocked(p->monitoring);
     }
-    retire();
+    p->conn->writeBlock(text);
+    writeDone();
 }
 
 void
 Server::failRequest(const std::shared_ptr<Pending> &p,
                     const std::string &code, const std::string &message)
 {
-    p->conn->writeBlock(errorHeader(p->req.id, code, message) + "\n");
+    const uint64_t end = nowUs();
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++errors_;
-        tracer_.record(obs::EventKind::ServeDone, nowUs(), p->req.id, 0);
+        if (!p->monitoring) {
+            window_.count("errors", end);
+            tracer_.record(obs::EventKind::ServeDone, end, p->rid, 0);
+        }
+        maybeWarnDropsLocked();
+        retireLocked(p->monitoring);
     }
-    retire();
+    p->conn->writeBlock(errorHeader(p->req.id, code, message) + "\n");
+    writeDone();
 }
 
 void
-Server::retire()
+Server::retireLocked(bool monitoring)
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    --inflight_;
+    if (monitoring)
+        --monitoringInflight_;
+    else
+        --inflight_;
+    ++writing_;
+}
+
+void
+Server::writeDone()
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        --writing_;
+    }
     drainCv_.notify_all();
+}
+
+void
+Server::maybeWarnDropsLocked()
+{
+    if (dropWarned_ || tracer_.dropped() == 0)
+        return;
+    dropWarned_ = true;
+    std::fprintf(stderr,
+                 "# uhm_serve: timeline ring dropped %llu of %llu "
+                 "events (capacity %zu); raise --timeline-events=N "
+                 "for complete request traces\n",
+                 static_cast<unsigned long long>(tracer_.dropped()),
+                 static_cast<unsigned long long>(tracer_.seen()),
+                 tracer_.capacity());
 }
 
 void
@@ -426,7 +536,10 @@ Server::stop()
     // their responses go to.
     {
         std::unique_lock<std::mutex> lock(statsMutex_);
-        drainCv_.wait(lock, [this] { return inflight_ == 0; });
+        drainCv_.wait(lock, [this] {
+            return inflight_ == 0 && monitoringInflight_ == 0 &&
+                writing_ == 0;
+        });
     }
     {
         std::lock_guard<std::mutex> lock(connMutex_);
@@ -458,16 +571,28 @@ Server::statsProfile(bool reset)
     profile.counters["serve.errors"] = errors_;
     profile.counters["serve.overloaded"] = overloaded_;
     profile.counters["serve.inflight"] = inflight_;
+    profile.counters["serve.monitoring.requests"] = monitoringRequests_;
+    profile.counters["serve.monitoring.responses"] =
+        monitoringResponses_;
     profile.counters["serve.cache.size"] = cache_.size();
     profile.counters["serve.cache.hits"] = cache.hits;
     profile.counters["serve.cache.misses"] = cache.misses;
     profile.counters["serve.cache.evictions"] = cache.evictions;
     profile.counters["serve.cache.evict_rejected"] = cache.evictRejected;
     profile.counters["serve.cache.busy_bypass"] = cache.busyBypass;
+    for (const auto &[name, count] : verbCounts_)
+        profile.counters["serve.verb." + name] = count;
 
     profile.histograms["serve.wait_us"] = waitUs_.snapshot();
     profile.histograms["serve.service_us"] = serviceUs_.snapshot();
     profile.histograms["serve.queue_depth"] = queueDepth_.snapshot();
+
+    profile.ratios.emplace_back(
+        "events.drop_rate",
+        tracer_.seen() == 0 ?
+            0.0 :
+            static_cast<double>(tracer_.dropped()) /
+                static_cast<double>(tracer_.seen()));
 
     profile.events = tracer_.events();
     profile.eventsSeen = tracer_.seen();
@@ -475,11 +600,226 @@ Server::statsProfile(bool reset)
 
     if (reset) {
         requests_ = responses_ = errors_ = overloaded_ = 0;
+        // The monitoring side resets with the ledger it shadows, so
+        // the (requests - monitoring) differences stay consistent.
+        monitoringRequests_ = monitoringResponses_ = 0;
+        verbCounts_.clear();
         waitUs_.reset();
         serviceUs_.reset();
         queueDepth_.reset();
+        window_.reset();
     }
     return profile;
+}
+
+namespace
+{
+
+/** One latency/depth quantile summary object for the metrics line. */
+void
+writeQuantiles(JsonWriter &jw, const obs::HistogramSnapshot &h)
+{
+    jw.beginObject();
+    jw.key("p50").value(obs::histogramPercentile(h, 0.50));
+    jw.key("p95").value(obs::histogramPercentile(h, 0.95));
+    jw.key("p99").value(obs::histogramPercentile(h, 0.99));
+    jw.key("mean").value(
+        h.count == 0 ? 0.0 :
+            static_cast<double>(h.sum) / static_cast<double>(h.count));
+    jw.key("max").value(h.max);
+    jw.key("count").value(h.count);
+    jw.endObject();
+}
+
+/** hits/(hits+misses); 0.0 on no traffic. */
+double
+hitRate(uint64_t hits, uint64_t misses)
+{
+    return hits + misses == 0 ?
+        0.0 :
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+} // anonymous namespace
+
+std::string
+Server::metricsJson()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    obs::WindowSnapshot w = window_.snapshot();
+    CacheStats cache = cache_.stats();
+
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("type").value("metrics");
+    jw.key("window_us").value(w.windowUs);
+    jw.key("span_us").value(w.spanUs);
+
+    jw.key("window").beginObject();
+    jw.key("requests").value(w.counter("requests"));
+    jw.key("responses").value(w.counter("responses"));
+    jw.key("errors").value(w.counter("errors"));
+    jw.key("overloaded").value(w.counter("overloaded"));
+    jw.key("rps").value(
+        w.spanUs == 0 ?
+            0.0 :
+            static_cast<double>(w.counter("responses")) * 1e6 /
+                static_cast<double>(w.spanUs));
+    jw.key("wait_us");
+    writeQuantiles(jw, w.histograms["wait_us"]);
+    jw.key("service_us");
+    writeQuantiles(jw, w.histograms["service_us"]);
+    jw.key("slice_us");
+    writeQuantiles(jw, w.histograms["slice_us"]);
+    jw.key("queue_depth");
+    writeQuantiles(jw, w.histograms["queue_depth"]);
+    const uint64_t whits = w.counter("cache.hits");
+    const uint64_t wmisses = w.counter("cache.misses");
+    jw.key("cache").beginObject();
+    jw.key("hits").value(whits);
+    jw.key("misses").value(wmisses);
+    jw.key("hit_rate").value(hitRate(whits, wmisses));
+    jw.endObject();
+    jw.key("verbs").beginObject();
+    for (const auto &[name, count] : w.counters) {
+        if (name.rfind("verb.", 0) == 0)
+            jw.key(name.substr(5)).value(count);
+    }
+    jw.endObject();
+    jw.endObject();
+
+    jw.key("lifetime").beginObject();
+    jw.key("requests").value(requests_ - monitoringRequests_);
+    jw.key("responses").value(responses_ - monitoringResponses_);
+    jw.key("errors").value(errors_);
+    jw.key("overloaded").value(overloaded_);
+    jw.key("inflight").value(static_cast<uint64_t>(inflight_));
+    jw.key("wait_us");
+    writeQuantiles(jw, waitUs_.snapshot());
+    jw.key("service_us");
+    writeQuantiles(jw, serviceUs_.snapshot());
+    jw.key("queue_depth");
+    writeQuantiles(jw, queueDepth_.snapshot());
+    jw.key("cache").beginObject();
+    jw.key("hits").value(cache.hits);
+    jw.key("misses").value(cache.misses);
+    jw.key("hit_rate").value(hitRate(cache.hits, cache.misses));
+    jw.key("evictions").value(cache.evictions);
+    jw.key("sessions").value(static_cast<uint64_t>(cache_.size()));
+    jw.endObject();
+    jw.key("verbs").beginObject();
+    for (const auto &[name, count] : verbCounts_)
+        jw.key(name).value(count);
+    jw.endObject();
+    jw.endObject();
+
+    jw.key("events").beginObject();
+    jw.key("seen").value(tracer_.seen());
+    jw.key("dropped").value(tracer_.dropped());
+    jw.key("drop_rate").value(
+        tracer_.seen() == 0 ?
+            0.0 :
+            static_cast<double>(tracer_.dropped()) /
+                static_cast<double>(tracer_.seen()));
+    jw.endObject();
+    jw.endObject();
+    return jw.str() + "\n";
+}
+
+std::string
+Server::metricsProm()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    obs::WindowSnapshot w = window_.snapshot();
+    CacheStats cache = cache_.stats();
+
+    std::string out;
+    auto fmt = [](double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        return std::string(buf);
+    };
+    auto head = [&out](const std::string &name, const char *type,
+                       const char *help) {
+        out += "# HELP " + name + " " + help + "\n";
+        out += "# TYPE " + name + " " + type + "\n";
+    };
+    auto counter = [&](const std::string &name, const char *help,
+                       uint64_t v) {
+        head(name, "counter", help);
+        out += name + " " + std::to_string(v) + "\n";
+    };
+    auto gauge = [&](const std::string &name, const char *help,
+                     double v) {
+        head(name, "gauge", help);
+        out += name + " " + fmt(v) + "\n";
+    };
+    // Summaries report the rolling window, not the lifetime: a scrape
+    // wants "now", and the _total counters already carry forever.
+    auto summary = [&](const std::string &name, const char *help,
+                       const obs::HistogramSnapshot &h, double scale) {
+        head(name, "summary", help);
+        const std::pair<const char *, double> quantiles[] = {
+            {"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto &[label, q] : quantiles)
+            out += name + "{quantile=\"" + label + "\"} " +
+                fmt(obs::histogramPercentile(h, q) * scale) + "\n";
+        out += name + "_sum " +
+            fmt(static_cast<double>(h.sum) * scale) + "\n";
+        out += name + "_count " + std::to_string(h.count) + "\n";
+    };
+
+    counter("uhm_serve_requests_total",
+            "Workload requests admitted or rejected.",
+            requests_ - monitoringRequests_);
+    counter("uhm_serve_responses_total",
+            "Successful workload responses written.",
+            responses_ - monitoringResponses_);
+    counter("uhm_serve_errors_total", "Error responses written.",
+            errors_);
+    counter("uhm_serve_overloaded_total",
+            "Requests rejected by admission control.", overloaded_);
+    head("uhm_serve_requests_by_verb_total",
+         "counter", "Workload requests by verb.");
+    for (const auto &[name, count] : verbCounts_)
+        out += "uhm_serve_requests_by_verb_total{verb=\"" + name +
+            "\"} " + std::to_string(count) + "\n";
+    gauge("uhm_serve_inflight", "Workload requests in flight.",
+          static_cast<double>(inflight_));
+    gauge("uhm_serve_requests_per_second",
+          "Windowed response rate.",
+          w.spanUs == 0 ?
+              0.0 :
+              static_cast<double>(w.counter("responses")) * 1e6 /
+                  static_cast<double>(w.spanUs));
+    counter("uhm_serve_cache_hits_total", "Session-cache hits.",
+            cache.hits);
+    counter("uhm_serve_cache_misses_total", "Session-cache misses.",
+            cache.misses);
+    counter("uhm_serve_cache_evictions_total",
+            "Session-cache evictions.", cache.evictions);
+    gauge("uhm_serve_cache_hit_rate", "Windowed session-cache hit rate.",
+          hitRate(w.counter("cache.hits"), w.counter("cache.misses")));
+    gauge("uhm_serve_cache_sessions", "Sessions currently cached.",
+          static_cast<double>(cache_.size()));
+    summary("uhm_serve_wait_seconds", "Windowed queue wait.",
+            w.histograms["wait_us"], 1e-6);
+    summary("uhm_serve_service_seconds", "Windowed service time.",
+            w.histograms["service_us"], 1e-6);
+    summary("uhm_serve_queue_depth", "Windowed queue depth at admission.",
+            w.histograms["queue_depth"], 1.0);
+    counter("uhm_serve_events_seen_total",
+            "Serve-track events recorded.", tracer_.seen());
+    counter("uhm_serve_events_dropped_total",
+            "Serve-track events lost to ring overwrite.",
+            tracer_.dropped());
+    gauge("uhm_serve_event_drop_rate",
+          "Fraction of serve-track events dropped.",
+          tracer_.seen() == 0 ?
+              0.0 :
+              static_cast<double>(tracer_.dropped()) /
+                  static_cast<double>(tracer_.seen()));
+    return out;
 }
 
 } // namespace uhm::serve

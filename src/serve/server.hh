@@ -38,7 +38,10 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "obs/report.hh"
+#include "obs/window.hh"
 #include "serve/cache.hh"
 #include "support/pool.hh"
 
@@ -57,8 +60,10 @@ struct ServerConfig
     size_t maxQueue = 128;
     /** Cycle budget per runSlice() call (fairness granule). */
     uint64_t sliceCycles = 50'000;
-    /** serve-track event ring capacity. */
-    size_t eventCapacity = 1 << 16;
+    /** serve-track event ring capacity (--timeline-events). */
+    size_t eventCapacity = 1 << 20;
+    /** Rolling metrics window width in microseconds (--window). */
+    uint64_t windowUs = 60'000'000;
 };
 
 /** One accepted connection (shared by its reader and its jobs). */
@@ -121,6 +126,13 @@ class Server
         Request req;
         std::shared_ptr<Session> session;
         bool cached = false;
+        /** Server-assigned monotonic request id: the `addr` of every
+         *  serve-track event this request emits, which is what the
+         *  timeline exporter keys its per-request span trees on. */
+        uint64_t rid = 0;
+        /** Monitoring verbs (stats/metrics) stay out of the latency
+         *  ledger they report — see proto.hh. */
+        bool monitoring = false;
         uint64_t enqueueUs = 0;
         uint64_t beginUs = 0;
     };
@@ -149,8 +161,25 @@ class Server
     void failRequest(const std::shared_ptr<Pending> &p,
                      const std::string &code, const std::string &message);
 
-    /** Drop one in-flight slot (wakes the drain wait). */
-    void retire();
+    /** Drop one in-flight slot and open its response write. Called
+     *  with statsMutex_ held, in the same critical section that
+     *  records the request's stats: once a client holds a response
+     *  the ledger is settled (the metrics byte-identity contract). */
+    void retireLocked(bool monitoring);
+
+    /** Close a response write opened by retireLocked(); wakes the
+     *  drain wait once nothing is in flight or mid-send. */
+    void writeDone();
+
+    /** Stamp the session-acquire event for @p p (post-acquire). */
+    void recordAcquire(const std::shared_ptr<Pending> &p);
+
+    /** One-shot stderr warning when the event ring starts dropping. */
+    void maybeWarnDropsLocked();
+
+    /** The `metrics` verb payloads (self-locking). */
+    std::string metricsJson();
+    std::string metricsProm();
 
     ServerConfig config_;
     int listenFd_ = -1;
@@ -175,10 +204,26 @@ class Server
     uint64_t responses_ = 0;
     uint64_t errors_ = 0;
     uint64_t overloaded_ = 0;
+    /** Next request id (rids start at 1; 0 = never admitted). */
+    uint64_t nextRid_ = 0;
+    /** Monitoring-verb traffic, tracked apart from the workload ledger
+     *  so the ledger the `metrics` verb reports is invariant under the
+     *  act of reading it (the byte-identity contract). */
+    uint64_t monitoringRequests_ = 0;
+    uint64_t monitoringResponses_ = 0;
+    size_t monitoringInflight_ = 0;
+    /** Responses being written right now (slot already released);
+     *  stop() drains these too, so teardown never races a send. */
+    size_t writing_ = 0;
+    /** Lifetime workload requests per verb name. */
+    std::map<std::string, uint64_t> verbCounts_;
     obs::Histogram waitUs_;
     obs::Histogram serviceUs_;
     obs::Histogram queueDepth_;
+    obs::RollingWindow window_;
     obs::Tracer tracer_;
+    /** The drop warning fired (it is one-shot). */
+    bool dropWarned_ = false;
 
     std::mutex stopMutex_;
     std::condition_variable stopCv_;

@@ -20,6 +20,7 @@
 #include "obs/report.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
+#include "obs/window.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "uhm/machine.hh"
@@ -663,6 +664,146 @@ TEST(ObsMachine, CountersResetBetweenRuns)
     // Repeated runs are bit-identical, including the counter snapshot.
     EXPECT_EQ(first.counters, second.counters);
     EXPECT_EQ(first.cycles, second.cycles);
+}
+
+// ---------------------------------------------------------------------
+// Percentile extraction (obs/window.hh)
+// ---------------------------------------------------------------------
+
+TEST(ObsPercentile, ExactOnUniformFills)
+{
+    // Every observation equals v: min == max pins the single live
+    // bucket's edges together, so every quantile is exactly v.
+    for (uint64_t v : {0ull, 1ull, 7ull, 1000ull, 123456789ull}) {
+        obs::Histogram h;
+        for (int i = 0; i < 100; ++i)
+            h.record(v);
+        obs::HistogramSnapshot snap = h.snapshot();
+        for (double q : {0.01, 0.50, 0.95, 0.99, 1.0})
+            EXPECT_EQ(obs::histogramPercentile(snap, q),
+                      static_cast<double>(v))
+                << "v=" << v << " q=" << q;
+    }
+}
+
+TEST(ObsPercentile, NearestRankOnMixedFill)
+{
+    // 1 x4, 2 x2, 3 x4: log2 buckets put the four 1s alone in bucket 1
+    // and the six {2,3}s in bucket 2 (edges [2,3]). Nearest-rank with
+    // even in-bucket interpolation lands p50 on 2 and p99 on 3.
+    obs::Histogram h;
+    for (int i = 0; i < 4; ++i)
+        h.record(1);
+    for (int i = 0; i < 2; ++i)
+        h.record(2);
+    for (int i = 0; i < 4; ++i)
+        h.record(3);
+    obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(obs::histogramPercentile(snap, 0.50), 2.0);
+    EXPECT_EQ(obs::histogramPercentile(snap, 0.99), 3.0);
+    EXPECT_EQ(obs::histogramPercentile(snap, 0.10), 1.0);
+    // The extremes short-circuit to the exact min/max.
+    EXPECT_EQ(obs::histogramPercentile(snap, 0.0), 1.0);
+    EXPECT_EQ(obs::histogramPercentile(snap, 1.0), 3.0);
+}
+
+TEST(ObsPercentile, EmptyHistogramIsZero)
+{
+    obs::HistogramSnapshot empty;
+    EXPECT_EQ(obs::histogramPercentile(empty, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// RollingWindow (obs/window.hh)
+// ---------------------------------------------------------------------
+
+TEST(ObsWindow, AggregatesAcrossLiveBuckets)
+{
+    obs::RollingWindow w(/*window_us=*/16, /*buckets=*/4);
+    ASSERT_EQ(w.bucketUs(), 4u);
+    w.count("reqs", 0);
+    w.count("reqs", 5);
+    w.record("lat", 9, 100);
+    obs::WindowSnapshot snap = w.snapshot();
+    EXPECT_EQ(snap.counter("reqs"), 2u);
+    EXPECT_EQ(snap.histograms["lat"].count, 1u);
+    EXPECT_EQ(snap.counter("absent"), 0u);
+    // Buckets 0..2 are live: span covers 3 bucket widths.
+    EXPECT_EQ(snap.spanUs, 12u);
+}
+
+TEST(ObsWindow, RotationExpiresOldBucketsDeterministically)
+{
+    obs::RollingWindow w(/*window_us=*/16, /*buckets=*/4);
+    w.count("reqs", 0);  // bucket 0
+    w.count("reqs", 4);  // bucket 1
+    EXPECT_EQ(w.snapshot().counter("reqs"), 2u);
+
+    // Advance to bucket 4: bucket 0 slides out (4 + 4 <= ... is the
+    // expiry rule: index + ringsize <= current), bucket 1 survives.
+    w.count("reqs", 16);
+    EXPECT_EQ(w.snapshot().counter("reqs"), 2u);
+
+    // Advance to bucket 8: everything before this record is gone.
+    w.count("reqs", 32);
+    EXPECT_EQ(w.snapshot().counter("reqs"), 1u);
+
+    // Time only advances on record: repeated snapshots are frozen.
+    EXPECT_EQ(w.snapshot().counter("reqs"), 1u);
+    EXPECT_EQ(w.snapshot().spanUs, w.snapshot().spanUs);
+}
+
+TEST(ObsWindow, LateRecordsLandInTheNewestBucket)
+{
+    obs::RollingWindow w(/*window_us=*/16, /*buckets=*/4);
+    w.count("reqs", 100); // bucket 25
+    // A stamp that predates the whole window must still be counted —
+    // it routes to the newest live bucket instead of resurrecting an
+    // expired slot (or crashing).
+    w.count("reqs", 0);
+    EXPECT_EQ(w.snapshot().counter("reqs"), 2u);
+}
+
+TEST(ObsWindow, MergeIsOrderInvariant)
+{
+    // The same observations distributed across buckets in different
+    // arrival orders must produce identical snapshots — bucket merges
+    // are per-name additions, which commute.
+    const uint64_t stamps[] = {1, 5, 9, 13};
+    obs::RollingWindow a(/*window_us=*/16, /*buckets=*/4);
+    obs::RollingWindow b(/*window_us=*/16, /*buckets=*/4);
+    for (uint64_t t : stamps) {
+        a.count("reqs", t);
+        a.record("lat", t, t * 10);
+    }
+    for (size_t i = 0; i < 4; ++i) {
+        // b sees the same data, newest bucket touched first within
+        // each time step (records never go backwards in time across
+        // steps, mirroring out-of-order threads under one lock).
+        uint64_t t = stamps[i];
+        a.count("alt", t);
+        b.count("alt", t);
+        b.count("reqs", t);
+        b.record("lat", t, t * 10);
+    }
+    obs::WindowSnapshot sa = a.snapshot();
+    obs::WindowSnapshot sb = b.snapshot();
+    EXPECT_EQ(sa.counters, sb.counters);
+    EXPECT_EQ(sa.spanUs, sb.spanUs);
+    ASSERT_EQ(sa.histograms.size(), sb.histograms.size());
+    EXPECT_EQ(sa.histograms["lat"], sb.histograms["lat"]);
+}
+
+TEST(ObsWindow, ResetForgetsEverything)
+{
+    obs::RollingWindow w(/*window_us=*/16, /*buckets=*/4);
+    w.count("reqs", 3);
+    w.record("lat", 3, 42);
+    w.reset();
+    obs::WindowSnapshot snap = w.snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+    EXPECT_EQ(snap.spanUs, 0u);
 }
 
 } // anonymous namespace

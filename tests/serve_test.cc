@@ -9,12 +9,15 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <thread>
 
 #include "bench_common.hh"
 #include "hlr/compiler.hh"
 #include "obs/timeline.hh"
+#include "obs/window.hh"
 #include "serve/client.hh"
+#include "serve/proto.hh"
 #include "serve/server.hh"
 #include "uhm/profile.hh"
 #include "workload/samples.hh"
@@ -361,4 +364,262 @@ TEST(ServeDaemon, StatsShutdownAndTimelineTrack)
     EXPECT_NE(trace.find("\"serve\""), std::string::npos);
     EXPECT_NE(trace.find("serve_enqueue"), std::string::npos);
     EXPECT_NE(trace.find("serve_done"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The metrics verb and request-scoped tracing.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Numeric member of @p v (int- or double-kinded; 0.0 when absent). */
+double
+num(const serve::JsonValue &v, const char *key)
+{
+    const serve::JsonValue *m = v.find(key);
+    if (m == nullptr)
+        return 0.0;
+    return m->kind == serve::JsonValue::Kind::Int ?
+        static_cast<double>(m->integer) : m->number;
+}
+
+} // anonymous namespace
+
+TEST(ServeProto, MetricsVerbAndFormatField)
+{
+    serve::Request req;
+    std::string err;
+    ASSERT_TRUE(serve::parseRequest(
+        R"({"id":1,"verb":"metrics"})", req, err))
+        << err;
+    EXPECT_EQ(req.verb, serve::Verb::Metrics);
+    EXPECT_EQ(req.format, "json"); // the default
+
+    ASSERT_TRUE(serve::parseRequest(
+        R"({"id":2,"verb":"metrics","format":"prometheus"})", req, err))
+        << err;
+    EXPECT_EQ(req.format, "prometheus");
+
+    // Unknown formats and formats on non-metrics verbs are rejected.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"verb":"metrics","format":"xml"})", req, err));
+    EXPECT_NE(err.find("format"), std::string::npos);
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"verb":"run","program":"fib","format":"json"})", req, err));
+    EXPECT_NE(err.find("metrics"), std::string::npos);
+}
+
+TEST(ServeTimeline, VerbLabelsMatchTheProtocol)
+{
+    // The timeline exporter keeps its own verb table (obs cannot link
+    // against serve); this is the drift guard the header promises.
+    for (unsigned i = 0;
+         i <= static_cast<unsigned>(serve::Verb::Metrics); ++i)
+        EXPECT_STREQ(obs::serveVerbLabel(i),
+                     serve::verbName(static_cast<serve::Verb>(i)))
+            << "verb index " << i;
+    EXPECT_STREQ(obs::serveVerbLabel(
+                     static_cast<unsigned>(serve::Verb::Metrics) + 1),
+                 "?");
+}
+
+TEST(ServeDaemon, MetricsMatchesStatsHistograms)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 2;
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    for (int id = 1; id <= 6; ++id) {
+        serve::Response r = client.call(
+            R"({"id":)" + std::to_string(id) +
+            R"(,"verb":"run","program":"fib"})");
+        ASSERT_TRUE(r.ok) << r.message;
+    }
+
+    // The reference values, computed independently from the daemon's
+    // own stats histograms (the quiesced daemon cannot change them
+    // between the two reads — metrics is a monitoring verb).
+    obs::ProfileData stats = server.statsProfile(false);
+    const obs::HistogramSnapshot &service =
+        stats.histograms.at("serve.service_us");
+    const obs::HistogramSnapshot &wait =
+        stats.histograms.at("serve.wait_us");
+    const obs::HistogramSnapshot &depth =
+        stats.histograms.at("serve.queue_depth");
+    const double hits =
+        static_cast<double>(stats.counters.at("serve.cache.hits"));
+    const double misses =
+        static_cast<double>(stats.counters.at("serve.cache.misses"));
+
+    serve::Response m = client.call(R"({"id":7,"verb":"metrics"})");
+    ASSERT_TRUE(m.ok) << m.message;
+    serve::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(serve::parseJson(m.payload, doc, err)) << err;
+    const serve::JsonValue *life = doc.find("lifetime");
+    ASSERT_NE(life, nullptr);
+
+    // The JSON writer renders doubles at 12 significant digits, so
+    // the round-tripped value matches to a relative 1e-11.
+    auto near = [](double got, double want) {
+        EXPECT_NEAR(got, want, 1e-9 + std::fabs(want) * 1e-9);
+    };
+    const serve::JsonValue *svc = life->find("service_us");
+    ASSERT_NE(svc, nullptr);
+    near(num(*svc, "p50"), obs::histogramPercentile(service, 0.50));
+    near(num(*svc, "p99"), obs::histogramPercentile(service, 0.99));
+    EXPECT_EQ(num(*svc, "count"), static_cast<double>(service.count));
+
+    const serve::JsonValue *wsum = life->find("wait_us");
+    ASSERT_NE(wsum, nullptr);
+    near(num(*wsum, "p50"), obs::histogramPercentile(wait, 0.50));
+    near(num(*wsum, "p99"), obs::histogramPercentile(wait, 0.99));
+
+    const serve::JsonValue *qd = life->find("queue_depth");
+    ASSERT_NE(qd, nullptr);
+    near(num(*qd, "p50"), obs::histogramPercentile(depth, 0.50));
+    EXPECT_EQ(num(*qd, "max"), static_cast<double>(depth.max));
+
+    const serve::JsonValue *cache = life->find("cache");
+    ASSERT_NE(cache, nullptr);
+    // The JSON writer renders doubles at 12 significant digits.
+    EXPECT_NEAR(num(*cache, "hit_rate"), hits / (hits + misses), 1e-9);
+    EXPECT_EQ(num(*cache, "hits"), hits);
+
+    // Six workload runs; the metrics request itself is excluded.
+    EXPECT_EQ(num(*life, "requests"), 6.0);
+    EXPECT_EQ(num(*life, "responses"), 6.0);
+
+    server.stop();
+}
+
+TEST(ServeDaemon, MetricsIsByteIdenticalAcrossConcurrentClients)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 4;
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client warmup(cfg.socketPath);
+    ASSERT_TRUE(
+        warmup.call(R"({"id":1,"verb":"run","program":"fib"})").ok);
+    ASSERT_TRUE(
+        warmup.call(R"({"id":2,"verb":"run","program":"fib"})").ok);
+
+    // A quiesced daemon must answer every concurrent metrics request
+    // with the same bytes: monitoring verbs stay out of every ledger
+    // they report, so observing the daemon does not perturb it.
+    constexpr int fanout = 8;
+    std::vector<std::string> json(fanout), prom(fanout);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < fanout; ++i) {
+        threads.emplace_back([&, i] {
+            serve::Client c(cfg.socketPath);
+            serve::Response r = c.call(R"({"id":10,"verb":"metrics"})");
+            json[i] = r.ok ? r.payload : ("ERROR: " + r.message);
+            serve::Response p = c.call(
+                R"({"id":11,"verb":"metrics","format":"prometheus"})");
+            prom[i] = p.ok ? p.payload : ("ERROR: " + p.message);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int i = 1; i < fanout; ++i) {
+        EXPECT_EQ(json[i], json[0]) << "json response " << i;
+        EXPECT_EQ(prom[i], prom[0]) << "prometheus response " << i;
+    }
+    EXPECT_NE(json[0].find("\"type\":\"metrics\""), std::string::npos);
+    EXPECT_NE(prom[0].find("# HELP uhm_serve_requests_total"),
+              std::string::npos);
+    EXPECT_NE(prom[0].find("uhm_serve_service_seconds{quantile=\"0.5\"}"),
+              std::string::npos);
+
+    server.stop();
+}
+
+TEST(ServeDaemon, TimelineStitchesPerRequestSpanTrees)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 2;
+    cfg.sliceCycles = 2000; // a synthetic run takes many slices
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    ASSERT_TRUE(client.call(
+        R"({"id":1,"verb":"run","program":"synthetic"})").ok);
+    ASSERT_TRUE(client.call(
+        R"({"id":2,"verb":"run","program":"synthetic"})").ok);
+    server.stop();
+
+    obs::ProfileData profile = server.statsProfile(false);
+    // The new per-request events are in the ring...
+    bool sawAcquire = false, sawSlice = false;
+    for (const obs::Event &e : profile.events) {
+        sawAcquire |= e.kind == obs::EventKind::ServeAcquire;
+        sawSlice |= e.kind == obs::EventKind::ServeSlice;
+    }
+    EXPECT_TRUE(sawAcquire);
+    EXPECT_TRUE(sawSlice);
+
+    // ...and the exporter stitches them into rid-keyed async trees.
+    std::string trace = obs::toChromeTrace(profile);
+    EXPECT_NE(trace.find("\"cat\":\"serve.request\""),
+              std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"e\""), std::string::npos);
+    for (const char *name :
+         {"\"name\":\"request\"", "\"name\":\"wait\"",
+          "\"name\":\"acquire\"", "\"name\":\"slice\"",
+          "\"name\":\"reply\""})
+        EXPECT_NE(trace.find(name), std::string::npos) << name;
+    // Both requests appear as distinct async ids.
+    EXPECT_NE(trace.find("\"id\":\"1\""), std::string::npos);
+    EXPECT_NE(trace.find("\"id\":\"2\""), std::string::npos);
+    // The run verb and the session tag ride on the request root.
+    EXPECT_NE(trace.find("\"verb\":\"run\""), std::string::npos);
+    EXPECT_NE(trace.find("\"session\":"), std::string::npos);
+}
+
+TEST(ServeDaemon, EventDropRateIsSurfaced)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 1;
+    cfg.eventCapacity = 4; // tiny ring: one run must overflow it
+    serve::Server server(cfg);
+    server.start();
+
+    serve::Client client(cfg.socketPath);
+    ASSERT_TRUE(
+        client.call(R"({"id":1,"verb":"run","program":"fib"})").ok);
+
+    serve::Response m = client.call(R"({"id":2,"verb":"metrics"})");
+    ASSERT_TRUE(m.ok) << m.message;
+    serve::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(serve::parseJson(m.payload, doc, err)) << err;
+    const serve::JsonValue *events = doc.find("events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(num(*events, "dropped"), 0.0);
+    EXPECT_GT(num(*events, "drop_rate"), 0.0);
+
+    // The stats profile carries the same rate as a ratio row.
+    obs::ProfileData stats = server.statsProfile(false);
+    bool found = false;
+    for (const auto &[name, value] : stats.ratios) {
+        if (name == "events.drop_rate") {
+            found = true;
+            EXPECT_GT(value, 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+
+    server.stop();
 }
